@@ -1,0 +1,47 @@
+// Reproduces Fig. 11(b): SNR reduction of the wanted stream at rx2 due to a
+// concurrent *aligned* transmitter (tx3 aligning with tx1's interference),
+// bucketed by tx3's original SNR at rx2.
+//
+// Paper: like nulling but with a larger residual (average 1.3 dB below the
+// L threshold), because alignment additionally relies on the receiver's
+// estimated-and-quantized unwanted subspace.
+
+#include <cstdio>
+
+#include "channel/testbed.h"
+#include "nulling/admission.h"
+#include "sim/signal_experiments.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace nplus;
+
+  const channel::Testbed testbed;
+  util::Rng rng(37);
+  const int kTrials = 80;
+  const double kLimitDb = nulling::AdmissionConfig{}.cancellation_limit_db;
+
+  util::Histogram buckets(7.5, 32.5, 5);
+  util::RunningStats below_limit_loss;
+
+  for (int i = 0; i < kTrials; ++i) {
+    const sim::AlignmentTrial t = sim::run_alignment_trial(testbed, rng);
+    buckets.add(t.unwanted_snr_db, t.snr_reduction_db());
+    if (t.unwanted_snr_db <= kLimitDb && t.unwanted_snr_db > 7.5) {
+      below_limit_loss.add(t.snr_reduction_db());
+    }
+  }
+
+  std::printf("=== Fig 11(b): SNR reduction due to alignment ===\n");
+  std::printf("%-14s %8s %14s\n", "unwanted SNR", "samples",
+              "mean loss [dB]");
+  for (const auto& b : buckets.buckets()) {
+    std::printf("%6.1f-%-6.1f %8zu %14.2f\n", b.lo, b.hi, b.stats.count(),
+                b.stats.count() ? b.stats.mean() : 0.0);
+  }
+  std::printf("\nbelow the L = %.0f dB admission threshold:\n", kLimitDb);
+  std::printf("  average SNR loss: %.2f dB   (paper: 1.3 dB; > nulling's "
+              "0.8 dB)\n",
+              below_limit_loss.mean());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Fig. 9(a): carrier-sense POWER profiles at a 3-antenna sensor,
+// without and with projection onto the space orthogonal to the ongoing
+// transmission. tx1 (strong) occupies the medium; tx2 joins at symbol 30.
+// The paper's instance shows a 0.4 dB jump without projection vs an 8.5 dB
+// jump with projection.
+
+#include <cstdio>
+
+#include "sim/signal_experiments.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace nplus;
+
+  sim::CarrierSenseConfigExp cfg;
+  cfg.tx1_snr_db = 25.0;
+  cfg.tx2_snr_db = 15.0;  // the power-profile operating point
+
+  std::printf("=== Fig 9(a): carrier-sense power, without vs with projection"
+              " ===\n");
+  std::printf("tx1 SNR %.0f dB (ongoing), tx2 SNR %.0f dB (joins at symbol "
+              "30)\n\n",
+              cfg.tx1_snr_db, cfg.tx2_snr_db);
+
+  // One illustrative trial: per-symbol RSSI profile (the paper's plot).
+  util::Rng rng(5);
+  const sim::CarrierSenseTrial one = sim::run_carrier_sense_trial(rng, cfg);
+  std::printf("symbol  raw_power  projected_power   (linear, tx2 starts at "
+              "%zu)\n",
+              one.tx2_start_symbol);
+  for (std::size_t s = 10; s < one.power_raw.size(); s += 2) {
+    std::printf("%5zu  %10.3e  %14.3e\n", s, one.power_raw[s],
+                one.power_projected[s]);
+  }
+
+  // Aggregate jump statistics over many trials.
+  util::Rng sweep_rng(17);
+  util::RunningStats raw, proj;
+  const int kTrials = 40;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto t = sim::run_carrier_sense_trial(sweep_rng, cfg);
+    raw.add(t.jump_raw_db);
+    proj.add(t.jump_projected_db);
+  }
+  std::printf("\npower jump at tx2 start over %d trials:\n", kTrials);
+  std::printf("  without projection: mean %5.2f dB  (paper: ~0.4 dB)\n",
+              raw.mean());
+  std::printf("  with projection:    mean %5.2f dB  (paper: ~8.5 dB)\n",
+              proj.mean());
+  std::printf("  separation:         %5.2f dB\n", proj.mean() - raw.mean());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 9(b): CDFs of the preamble cross-correlation at a
+// 3-antenna sensor, for "tx2 silent" vs "tx2 transmitting", without and
+// with projection. The paper operates at low joiner SNR (< 3 dB) and finds
+// ~18% of active-correlation values indistinguishable from silence without
+// projection, vs a clean separation with it.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/signal_experiments.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace nplus;
+
+  sim::CarrierSenseConfigExp cfg;  // defaults: tx1 25 dB, tx2 2 dB
+  const int kTrials = 60;
+
+  std::vector<double> raw_active, raw_silent, proj_active, proj_silent;
+  util::Rng rng(23);
+  for (int i = 0; i < kTrials; ++i) {
+    const auto t = sim::run_carrier_sense_trial(rng, cfg);
+    raw_active.push_back(t.corr_raw_active);
+    raw_silent.push_back(t.corr_raw_silent);
+    proj_active.push_back(t.corr_projected_active);
+    proj_silent.push_back(t.corr_projected_silent);
+  }
+
+  auto print_cdf = [](const char* name, std::vector<double> v) {
+    std::printf("%-28s", name);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+      std::printf("  p%02.0f=%.3f", p, util::percentile(v, p));
+    }
+    std::printf("\n");
+  };
+
+  std::printf("=== Fig 9(b): preamble cross-correlation CDFs (tx2 at %.0f dB)"
+              " ===\n\n",
+              cfg.tx2_snr_db);
+  std::printf("--- without projection ---\n");
+  print_cdf("tx2 silent", raw_silent);
+  print_cdf("tx2 transmitting", raw_active);
+  std::printf("--- with projection ---\n");
+  print_cdf("tx2 silent", proj_silent);
+  print_cdf("tx2 transmitting", proj_active);
+
+  // Distinguishability: fraction of active values below the silent p90
+  // (the paper's "non-distinguishable area", ~18% without projection).
+  auto overlap = [](const std::vector<double>& active,
+                    std::vector<double> silent) {
+    const double threshold = util::percentile(std::move(silent), 90.0);
+    int below = 0;
+    for (double a : active) below += a <= threshold;
+    return 100.0 * below / static_cast<double>(active.size());
+  };
+  std::printf("\nnon-distinguishable active samples (<= silent p90):\n");
+  std::printf("  without projection: %5.1f %%   (paper: ~18 %%)\n",
+              overlap(raw_active, raw_silent));
+  std::printf("  with projection:    %5.1f %%   (paper: ~0 %%)\n",
+              overlap(proj_active, proj_silent));
+  return 0;
+}

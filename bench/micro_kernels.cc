@@ -1,0 +1,166 @@
+// Microbenchmarks for the compute kernels behind n+ (§4 "Complexity": the
+// per-subcarrier projections and nulling/alignment solves must be cheap
+// enough for hardware). google-benchmark suite.
+
+#include <benchmark/benchmark.h>
+
+#include "dsp/fft.h"
+#include "linalg/decomp.h"
+#include "linalg/subspace.h"
+#include "nulling/compression.h"
+#include "nulling/precoder.h"
+#include "phy/conv_code.h"
+#include "phy/frame.h"
+#include "phy/transceiver.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nplus;
+using linalg::CMat;
+
+CMat random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  CMat m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.cgaussian(1.0);
+  }
+  return m;
+}
+
+void BM_Fft64(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<std::complex<double>> x(64);
+  for (auto& v : x) v = rng.cgaussian();
+  for (auto _ : state) {
+    auto y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_JoinPrecoder(benchmark::State& state) {
+  // One subcarrier's nulling+alignment solve for a 3-antenna joiner
+  // (the paper's tx3 case): this runs 52x per handshake.
+  util::Rng rng(2);
+  const CMat h_r1 = random_matrix(1, 3, rng);
+  const CMat h_r2 = random_matrix(2, 3, rng);
+  const CMat wanted = linalg::orthogonal_complement(
+                          linalg::orthonormal_basis(random_matrix(2, 1, rng)))
+                          .hermitian();
+  for (auto _ : state) {
+    auto pre = nulling::compute_join_precoder(
+        3,
+        {nulling::make_null_constraint(h_r1),
+         nulling::make_align_constraint(h_r2, wanted)},
+        1);
+    benchmark::DoNotOptimize(pre);
+  }
+}
+BENCHMARK(BM_JoinPrecoder);
+
+void BM_MultiRxPrecoder(benchmark::State& state) {
+  // The Fig. 4 Eq. 7 solve (3x3 system), per subcarrier.
+  util::Rng rng(3);
+  const CMat h_ap1 = random_matrix(2, 3, rng);
+  const CMat ap1_rows =
+      linalg::orthonormal_basis(random_matrix(2, 1, rng)).hermitian();
+  const CMat h_c2 = random_matrix(2, 3, rng);
+  const CMat h_c3 = random_matrix(2, 3, rng);
+  const CMat rows_c2 =
+      linalg::orthogonal_complement(
+          linalg::orthonormal_basis(random_matrix(2, 1, rng)))
+          .hermitian();
+  const CMat rows_c3 =
+      linalg::orthogonal_complement(
+          linalg::orthonormal_basis(random_matrix(2, 1, rng)))
+          .hermitian();
+  for (auto _ : state) {
+    auto pre = nulling::compute_multi_rx_precoder(
+        3, {nulling::make_align_constraint(h_ap1, ap1_rows)},
+        {nulling::OwnReceiver{h_c2, rows_c2, {0}},
+         nulling::OwnReceiver{h_c3, rows_c3, {1}}});
+    benchmark::DoNotOptimize(pre);
+  }
+}
+BENCHMARK(BM_MultiRxPrecoder);
+
+void BM_OrthogonalComplement3x2(benchmark::State& state) {
+  util::Rng rng(4);
+  const CMat a = random_matrix(3, 2, rng);
+  for (auto _ : state) {
+    auto w = linalg::orthogonal_complement(a);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_OrthogonalComplement3x2);
+
+void BM_Svd3x3(benchmark::State& state) {
+  util::Rng rng(5);
+  const CMat a = random_matrix(3, 3, rng);
+  for (auto _ : state) {
+    auto d = linalg::svd(a);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Svd3x3);
+
+void BM_ViterbiDecode1500B(benchmark::State& state) {
+  util::Rng rng(6);
+  phy::Bits data(12000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  for (int i = 0; i < 6; ++i) data.push_back(0);
+  const phy::Bits coded = phy::conv_encode(data, phy::CodeRate::kRate1_2);
+  for (auto _ : state) {
+    auto out = phy::viterbi_decode(coded, data.size(), phy::CodeRate::kRate1_2);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ViterbiDecode1500B)->Unit(benchmark::kMillisecond);
+
+void BM_EncodePayload1500B(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<std::uint8_t> payload(1500);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  const phy::Mcs& mcs = phy::mcs_by_index(5);
+  for (auto _ : state) {
+    auto syms = phy::encode_payload(payload, mcs);
+    benchmark::DoNotOptimize(syms);
+  }
+}
+BENCHMARK(BM_EncodePayload1500B)->Unit(benchmark::kMicrosecond);
+
+void BM_CompressAlignment(benchmark::State& state) {
+  // Full 52-subcarrier differential compression of a 2x1 alignment space.
+  util::Rng rng(8);
+  std::vector<CMat> bases(53);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    bases[static_cast<std::size_t>(k + 26)] =
+        linalg::orthonormal_basis(random_matrix(2, 1, rng));
+  }
+  for (auto _ : state) {
+    auto out = nulling::compress_alignment(bases);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CompressAlignment)->Unit(benchmark::kMicrosecond);
+
+void BM_BuildTxFrame3Stream(benchmark::State& state) {
+  util::Rng rng(9);
+  phy::Bits bits(96 * 10 * 2);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  const auto syms = phy::map_bits(bits, phy::Modulation::kQpsk);
+  std::vector<std::vector<std::complex<double>>> streams(3);
+  for (auto& s : streams) {
+    s.assign(syms.begin(), syms.begin() + 480);
+  }
+  const auto plan = phy::PrecodingPlan::direct(3, 3);
+  for (auto _ : state) {
+    auto frame = phy::build_tx_frame(streams, plan);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_BuildTxFrame3Stream)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Example: the full §2 story at signal level, step by step.
+//
+// A single-antenna pair (tx1-rx1) occupies the medium. A two-antenna pair
+// (tx2-rx2) wants in. This example walks through everything n+ does:
+//   1. tx2 overhears rx1's CTS and derives the reverse channel
+//      (reciprocity + calibration error),
+//   2. computes a per-subcarrier nulling precoder (Claim 3.3),
+//   3. transmits concurrently through the simulated air,
+//   4. rx1 keeps decoding its packet; rx2 projects tx1 out
+//      (multi-dimensional zero-forcing) and decodes tx2's packet,
+// and prints the measured SNRs/outcomes at each step.
+//
+//   ./join_ongoing_transmission [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "channel/scene.h"
+#include "channel/testbed.h"
+#include "linalg/subspace.h"
+#include "nulling/precoder.h"
+#include "phy/esnr.h"
+#include "phy/transceiver.h"
+#include "sim/signal_experiments.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace nplus;
+  using linalg::CMat;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  util::Rng rng(seed);
+  const channel::Testbed testbed;
+  const double noise = testbed.noise_power_linear();
+  const phy::OfdmParams params;
+
+  // --- Topology: tx1, rx1, tx2, rx2 at random floor-plan locations.
+  const auto loc = testbed.random_placement(4, rng);
+  auto ch_t1_r1 = testbed.make_channel(loc[0], loc[1], 1, 1, rng);
+  auto ch_t2_r1 = testbed.make_channel(loc[2], loc[1], 2, 1, rng);
+  auto ch_t1_r2 = testbed.make_channel(loc[0], loc[3], 1, 2, rng);
+  auto ch_t2_r2 = testbed.make_channel(loc[2], loc[3], 2, 2, rng);
+
+  std::printf("== scenario ==\n");
+  std::printf("tx1-rx1: 1x1 link, distance %.1f m\n",
+              testbed.distance_m(loc[0], loc[1]));
+  std::printf("tx2-rx2: 2x2 link, distance %.1f m\n",
+              testbed.distance_m(loc[2], loc[3]));
+  std::printf("tx2 -> rx1 (must be nulled): distance %.1f m\n\n",
+              testbed.distance_m(loc[2], loc[1]));
+
+  // --- Step 1: tx1's ongoing transmission (a real coded packet).
+  const phy::Mcs& mcs = phy::mcs_by_index(2);  // QPSK 1/2
+  std::vector<std::uint8_t> pkt1(400), pkt2(400);
+  for (auto& b : pkt1) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  for (auto& b : pkt2) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+
+  const phy::TxFrame f1 = phy::build_tx_frame_bytes(
+      {pkt1}, mcs, phy::PrecodingPlan::direct(1, 1), params);
+
+  // --- Step 2: tx2 derives its channel toward rx1 via reciprocity from
+  // rx1's overheard CTS (simulated inside run_nulling-style helper): here
+  // we use the reverse channel directly with calibration error.
+  util::Rng cal_rng = rng.fork(1);
+  const auto ch_r1_t2 = ch_t2_r1.reverse(0.045, cal_rng);
+
+  // Belief = estimate of the reverse channel, transposed (see DESIGN.md);
+  // for the example we use the exact reverse response, which already
+  // carries the calibration error.
+  phy::PrecodingPlan plan;
+  plan.v.resize(53);
+  for (int k = -26; k <= 26; ++k) {
+    const std::size_t ki = static_cast<std::size_t>(k + 26);
+    if (k == 0) {
+      plan.v[ki] = CMat(2, 1);
+      continue;
+    }
+    const CMat belief = ch_r1_t2.freq_response(k).transpose();  // 1 x 2
+    const auto pre = nulling::compute_join_precoder(
+        2, {nulling::make_null_constraint(belief)}, 1);
+    plan.v[ki] = pre.has_value() ? pre->v : CMat(2, 1);
+  }
+  std::printf("== step 2: nulling precoder computed for 52 subcarriers ==\n");
+  {
+    const CMat& v = plan.at(1);
+    std::printf("subcarrier k=1: v = (%.3f%+.3fj, %.3f%+.3fj)\n\n",
+                v(0, 0).real(), v(0, 0).imag(), v(1, 0).real(),
+                v(1, 0).imag());
+  }
+
+  // --- Step 3: concurrent transmission on the simulated air.
+  const phy::TxFrame f2 = phy::build_tx_frame_bytes({pkt2}, mcs, plan, params);
+  channel::Scene scene(noise, rng);
+  const std::size_t rx1 = scene.add_node(1);
+  const std::size_t rx2 = scene.add_node(2);
+  const std::size_t t1 = scene.add_transmission(f1.antennas, 0);
+  const std::size_t t2 =
+      scene.add_transmission(f2.antennas, f1.data_offset());
+  scene.set_channel(t1, rx1, std::move(ch_t1_r1));
+  scene.set_channel(t2, rx1, std::move(ch_t2_r1));
+  scene.set_channel(t1, rx2, std::move(ch_t1_r2));
+  scene.set_channel(t2, rx2, std::move(ch_t2_r2));
+
+  const std::size_t air_len =
+      std::max(f1.total_len(), f1.data_offset() + f2.total_len()) + 16;
+
+  // --- Step 4a: rx1 decodes tx1's packet with tx2 on the air.
+  {
+    const auto rx = scene.render(rx1, air_len);
+    const auto res = phy::decode_frame(rx, 0, {pkt1.size()}, mcs, 1, {0},
+                                       phy::no_interference(1), noise,
+                                       params);
+    const double esnr = phy::effective_snr_db(
+        [&] {
+          std::vector<double> db;
+          for (double s : res.subcarrier_snr) {
+            db.push_back(util::to_db(std::max(s, 1e-12)));
+          }
+          return db;
+        }(),
+        mcs.modulation);
+    std::printf("== step 4a: rx1 (single antenna, no projection) ==\n");
+    std::printf("tx1's packet: %s, post-eq ESNR %.1f dB\n\n",
+                res.payloads[0].has_value() && *res.payloads[0] == pkt1
+                    ? "DECODED"
+                    : "LOST",
+                esnr);
+  }
+
+  // --- Step 4b: rx2 estimates tx1 from its clean preamble, projects it
+  // out, and decodes tx2's packet.
+  {
+    const auto rx = scene.render(rx2, air_len);
+    const phy::EffectiveChannels tx1_est =
+        phy::estimate_effective_channels(rx, 0, 1, params);
+    const phy::InterferenceMap interference =
+        phy::stack_interference(phy::no_interference(2), tx1_est);
+    const auto res =
+        phy::decode_frame(rx, f1.data_offset(), {pkt2.size()}, mcs, 1, {0},
+                          interference, noise, params);
+    std::printf("== step 4b: rx2 (projects tx1 out, then decodes tx2) ==\n");
+    std::printf("tx2's packet: %s\n",
+                res.payloads[0].has_value() && *res.payloads[0] == pkt2
+                    ? "DECODED"
+                    : "LOST");
+  }
+  std::printf("\nBoth pairs used the medium at the same time: the second "
+              "degree of freedom\nwas free, and n+ took it.\n");
+  return 0;
+}

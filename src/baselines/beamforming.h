@@ -1,0 +1,23 @@
+// Multi-user beamforming baseline (Aryafar et al., MobiCom 2010 — reference
+// [7] of the paper), used in Fig. 13(b).
+//
+// Beamforming lets a single multi-antenna transmitter pre-code concurrent
+// streams to several of its *own* receivers (transmit zero-forcing), but all
+// concurrency must originate at that one node: when any other node holds
+// the medium, the beamforming AP defers exactly like 802.11. n+'s advantage
+// over this baseline is cross-transmitter concurrency (joining the
+// single-antenna client's transmission).
+#pragma once
+
+#include "sim/round.h"
+#include "sim/runner.h"
+
+namespace nplus::baselines {
+
+// One beamforming round: winner drawn uniformly over *transmitters*; a
+// winner with multiple links zero-forces to all of them simultaneously
+// (streams split round-robin, capped by each receiver's antennas).
+sim::RoundFn make_beamforming_round_fn(const sim::Scenario& scenario,
+                                       const sim::RoundConfig& config);
+
+}  // namespace nplus::baselines

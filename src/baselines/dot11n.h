@@ -1,0 +1,21 @@
+// The 802.11n baseline the paper compares against (§6.3).
+//
+// Standard DCF: every link contends with equal probability; the winning
+// link's transmitter sends one packet per spatial stream using direct
+// antenna mapping (min(tx antennas, rx antennas) streams) at the
+// ESNR-selected bitrate, then the medium goes idle again. Nobody joins an
+// ongoing transmission — a 2x2 pair hearing a busy medium defers even
+// though it could null (Fig. 1(a) of the paper).
+#pragma once
+
+#include "sim/round.h"
+#include "sim/runner.h"
+
+namespace nplus::baselines {
+
+// One 802.11n round as a sim::RoundFn (winner drawn uniformly over links,
+// matching "each transmitter is given an equal chance to transmit").
+sim::RoundFn make_dot11n_round_fn(const sim::Scenario& scenario,
+                                  const sim::RoundConfig& config);
+
+}  // namespace nplus::baselines

@@ -1,0 +1,132 @@
+#include "channel/mimo_channel.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/signal.h"
+#include "util/units.h"
+
+namespace nplus::channel {
+
+MimoChannel::MimoChannel(std::size_t n_rx, std::size_t n_tx,
+                         double gain_linear, const ChannelProfile& profile,
+                         util::Rng& rng) {
+  // Tap power profile, normalized to sum 1, then scaled by the link gain.
+  std::vector<double> tap_power(profile.n_taps);
+  double total = 0.0;
+  for (std::size_t l = 0; l < profile.n_taps; ++l) {
+    tap_power[l] = util::from_db(-profile.decay_per_tap_db *
+                                 static_cast<double>(l));
+    total += tap_power[l];
+  }
+  for (auto& p : tap_power) p *= gain_linear / total;
+
+  const double k_lin =
+      profile.line_of_sight ? util::from_db(profile.rician_k_db) : 0.0;
+
+  taps_.resize(n_rx);
+  for (std::size_t r = 0; r < n_rx; ++r) {
+    taps_[r].resize(n_tx);
+    for (std::size_t t = 0; t < n_tx; ++t) {
+      Samples h(profile.n_taps);
+      for (std::size_t l = 0; l < profile.n_taps; ++l) {
+        if (l == 0 && profile.line_of_sight) {
+          // Rician first tap: deterministic LoS component (random phase per
+          // antenna pair, as geometry dictates) + scattered component.
+          const double p_los = tap_power[0] * k_lin / (k_lin + 1.0);
+          const double p_nlos = tap_power[0] / (k_lin + 1.0);
+          h[l] = std::sqrt(p_los) * rng.phase() + rng.cgaussian(p_nlos);
+        } else {
+          h[l] = rng.cgaussian(tap_power[l]);
+        }
+      }
+      taps_[r][t] = std::move(h);
+    }
+  }
+}
+
+MimoChannel::MimoChannel(std::vector<std::vector<Samples>> taps)
+    : taps_(std::move(taps)) {}
+
+CMat MimoChannel::freq_response(int k, std::size_t fft_size) const {
+  const std::size_t bin =
+      k >= 0 ? static_cast<std::size_t>(k)
+             : fft_size - static_cast<std::size_t>(-k);
+  CMat h(n_rx(), n_tx());
+  for (std::size_t r = 0; r < n_rx(); ++r) {
+    for (std::size_t t = 0; t < n_tx(); ++t) {
+      cdouble acc{0.0, 0.0};
+      const auto& taps = taps_[r][t];
+      for (std::size_t l = 0; l < taps.size(); ++l) {
+        const double ang = -2.0 * std::numbers::pi *
+                           static_cast<double>(bin) * static_cast<double>(l) /
+                           static_cast<double>(fft_size);
+        acc += taps[l] * cdouble{std::cos(ang), std::sin(ang)};
+      }
+      h(r, t) = acc;
+    }
+  }
+  return h;
+}
+
+std::vector<CMat> MimoChannel::freq_responses(std::size_t fft_size) const {
+  std::vector<CMat> out(53);
+  for (int k = -26; k <= 26; ++k) {
+    out[static_cast<std::size_t>(k + 26)] = freq_response(k, fft_size);
+  }
+  return out;
+}
+
+std::vector<Samples> MimoChannel::propagate(
+    const std::vector<Samples>& tx) const {
+  assert(tx.size() == n_tx());
+  std::vector<Samples> out(n_rx());
+  for (std::size_t r = 0; r < n_rx(); ++r) {
+    Samples acc;
+    for (std::size_t t = 0; t < n_tx(); ++t) {
+      const Samples y = nplus::dsp::convolve(tx[t], taps_[r][t]);
+      nplus::dsp::mix_into(acc, y);
+    }
+    out[r] = std::move(acc);
+  }
+  return out;
+}
+
+MimoChannel MimoChannel::reverse(double calibration_error_std,
+                                 util::Rng& rng) const {
+  std::vector<std::vector<Samples>> rev(n_tx());
+  for (std::size_t t = 0; t < n_tx(); ++t) {
+    rev[t].resize(n_rx());
+    for (std::size_t r = 0; r < n_rx(); ++r) {
+      Samples taps = taps_[r][t];  // transpose: swap roles
+      if (calibration_error_std > 0.0) {
+        // Residual calibration error: one complex multiplicative error per
+        // antenna pair (the hardware chains are frequency-flat relative to
+        // the 10 MHz channel), applied to all taps of the pair.
+        const cdouble err = cdouble{1.0, 0.0} +
+                            rng.cgaussian(calibration_error_std *
+                                          calibration_error_std);
+        for (auto& tap : taps) tap *= err;
+      }
+      rev[t][r] = std::move(taps);
+    }
+  }
+  return MimoChannel(std::move(rev));
+}
+
+double MimoChannel::mean_gain() const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& row : taps_) {
+    for (const auto& pair : row) {
+      double p = 0.0;
+      for (const auto& tap : pair) p += std::norm(tap);
+      acc += p;
+      ++n;
+    }
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace nplus::channel

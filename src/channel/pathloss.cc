@@ -1,0 +1,19 @@
+#include "channel/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nplus::channel {
+
+double PathLossModel::median_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, min_distance_m);
+  return ref_loss_db + 10.0 * exponent * std::log10(d / min_distance_m);
+}
+
+double PathLossModel::sample_loss_db(double distance_m,
+                                     util::Rng& rng) const {
+  return median_loss_db(distance_m) +
+         rng.gaussian(0.0, shadowing_sigma_db);
+}
+
+}  // namespace nplus::channel

@@ -1,0 +1,83 @@
+#include "channel/scene.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/signal.h"
+
+namespace nplus::channel {
+
+std::size_t Scene::add_node(std::size_t n_antennas) {
+  node_antennas_.push_back(n_antennas);
+  return node_antennas_.size() - 1;
+}
+
+void Scene::set_channel(std::size_t tx_id, std::size_t node_id,
+                        MimoChannel ch) {
+  channels_.emplace(std::make_pair(tx_id, node_id), std::move(ch));
+}
+
+std::size_t Scene::add_transmission(std::vector<Samples> antennas,
+                                    std::size_t start,
+                                    const TxImpairments& imp) {
+  transmissions_.push_back({std::move(antennas), start, imp});
+  return transmissions_.size() - 1;
+}
+
+std::vector<Samples> Scene::render(std::size_t node_id,
+                                   std::size_t length) const {
+  assert(node_id < node_antennas_.size());
+  const std::size_t n_rx = node_antennas_[node_id];
+  std::vector<Samples> out(n_rx, Samples(length, cdouble{0.0, 0.0}));
+
+  for (std::size_t t = 0; t < transmissions_.size(); ++t) {
+    const auto it = channels_.find(std::make_pair(t, node_id));
+    assert(it != channels_.end() && "channel not set for (tx, node)");
+    const MimoChannel& ch = it->second;
+    const Transmission& tx = transmissions_[t];
+    assert(ch.n_tx() == tx.antennas.size());
+    assert(ch.n_rx() == n_rx);
+
+    // Apply TX impairments to a working copy of the waveform.
+    std::vector<Samples> impaired = tx.antennas;
+    if (tx.imp.cfo_norm != 0.0) {
+      for (auto& ant : impaired) {
+        ant = nplus::dsp::apply_cfo(ant, tx.imp.cfo_norm, 0);
+      }
+    }
+    if (tx.imp.phase_noise_std > 0.0) {
+      // Common random-walk phase across antennas (one oscillator per node).
+      double phase = 0.0;
+      std::vector<double> walk(impaired.empty() ? 0 : impaired[0].size());
+      for (auto& w : walk) {
+        phase += rng_->gaussian(0.0, tx.imp.phase_noise_std);
+        w = phase;
+      }
+      for (auto& ant : impaired) {
+        for (std::size_t i = 0; i < ant.size() && i < walk.size(); ++i) {
+          ant[i] *= cdouble{std::cos(walk[i]), std::sin(walk[i])};
+        }
+      }
+    }
+
+    const std::vector<Samples> rx = ch.propagate(impaired);
+    const std::size_t start = tx.start + tx.imp.timing_offset;
+    for (std::size_t a = 0; a < n_rx; ++a) {
+      for (std::size_t i = 0; i < rx[a].size(); ++i) {
+        const std::size_t idx = start + i;
+        if (idx >= length) break;
+        out[a][idx] += rx[a][i];
+      }
+    }
+  }
+
+  // AWGN.
+  if (noise_power_ > 0.0) {
+    for (auto& ant : out) {
+      for (auto& v : ant) v += rng_->cgaussian(noise_power_);
+    }
+  }
+  return out;
+}
+
+}  // namespace nplus::channel

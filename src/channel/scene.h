@@ -1,0 +1,68 @@
+// Signal-level "air" for experiments: combines multiple concurrent
+// transmissions at each listening node through their MIMO channels, adds
+// thermal noise, and applies transmitter impairments (CFO, phase noise,
+// timing offset).
+//
+// This is the substrate for the paper's PHY experiments: Fig. 9 (carrier
+// sense with ongoing transmissions) and Fig. 11 (nulling/alignment
+// residuals) are staged as Scenes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "channel/mimo_channel.h"
+#include "util/rng.h"
+
+namespace nplus::channel {
+
+// Transmitter-side impairments applied to the waveform before the channel.
+struct TxImpairments {
+  double cfo_norm = 0.0;        // carrier offset, cycles/sample (after any
+                                // §4 precompensation toward the first winner)
+  double phase_noise_std = 0.0; // per-sample random-walk phase, radians
+  std::size_t timing_offset = 0;  // extra start delay in samples (must stay
+                                  // within the cyclic prefix for joiners)
+};
+
+class Scene {
+ public:
+  explicit Scene(double noise_power, util::Rng& rng)
+      : noise_power_(noise_power), rng_(&rng) {}
+
+  // Registers a listening node with `n_antennas`; returns its id.
+  std::size_t add_node(std::size_t n_antennas);
+
+  // Declares the channel from transmitter `tx_id` (see add_transmission) to
+  // node `node_id`. Must be set for every (transmission, node) pair before
+  // render(); the channel's n_tx must match the transmission's antennas.
+  void set_channel(std::size_t tx_id, std::size_t node_id, MimoChannel ch);
+
+  // Adds a transmission: per-antenna samples starting at absolute sample
+  // `start`. Returns the transmission id used by set_channel.
+  std::size_t add_transmission(std::vector<Samples> antennas,
+                               std::size_t start,
+                               const TxImpairments& imp = {});
+
+  // Renders the received per-antenna sample streams at a node over
+  // [0, length): all transmissions through their channels plus AWGN.
+  std::vector<Samples> render(std::size_t node_id, std::size_t length) const;
+
+  double noise_power() const { return noise_power_; }
+
+ private:
+  struct Transmission {
+    std::vector<Samples> antennas;
+    std::size_t start;
+    TxImpairments imp;
+  };
+
+  double noise_power_;
+  util::Rng* rng_;
+  std::vector<std::size_t> node_antennas_;
+  std::vector<Transmission> transmissions_;
+  std::map<std::pair<std::size_t, std::size_t>, MimoChannel> channels_;
+};
+
+}  // namespace nplus::channel

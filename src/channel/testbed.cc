@@ -1,0 +1,68 @@
+#include "channel/testbed.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/units.h"
+
+namespace nplus::channel {
+
+Testbed::Testbed()
+    : Testbed(
+          {
+              // A 20-point office floor plan (meters): clusters around
+              // desks/rooms with a few distant corners, giving link
+              // distances from ~2 m to ~28 m.
+              {2.0, 2.0},   {5.5, 3.0},   {9.0, 2.5},   {13.0, 3.5},
+              {17.0, 2.0},  {21.0, 3.0},  {26.0, 2.5},  {3.0, 8.0},
+              {7.5, 9.0},   {12.0, 8.5},  {16.5, 9.5},  {21.5, 8.0},
+              {26.5, 9.0},  {2.5, 15.0},  {6.0, 16.0},  {10.5, 15.5},
+              {15.0, 16.5}, {19.5, 15.0}, {24.0, 16.0}, {28.0, 15.5},
+          },
+          PathLossModel{}, LinkBudget{}) {}
+
+Testbed::Testbed(std::vector<Location> locations, PathLossModel pl,
+                 LinkBudget budget)
+    : locations_(std::move(locations)), pl_(pl), budget_(budget) {}
+
+double Testbed::distance_m(std::size_t a, std::size_t b) const {
+  const double dx = locations_[a].x_m - locations_[b].x_m;
+  const double dy = locations_[a].y_m - locations_[b].y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<std::size_t> Testbed::random_placement(std::size_t n_nodes,
+                                                   util::Rng& rng) const {
+  assert(n_nodes <= locations_.size());
+  const auto idx = rng.sample_without_replacement(
+      static_cast<int>(locations_.size()), static_cast<int>(n_nodes));
+  std::vector<std::size_t> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    out[i] = static_cast<std::size_t>(idx[i]);
+  }
+  return out;
+}
+
+double Testbed::link_gain(std::size_t a, std::size_t b,
+                          util::Rng& rng) const {
+  const double loss_db = pl_.sample_loss_db(distance_m(a, b), rng);
+  // Convert to the unit-TX-power convention: the *effective* gain relative
+  // to the reference where a 0 dB link would deliver SNR = tx - noise.
+  return util::from_db(-loss_db);
+}
+
+MimoChannel Testbed::make_channel(std::size_t a, std::size_t b,
+                                  std::size_t n_tx, std::size_t n_rx,
+                                  util::Rng& rng,
+                                  double los_threshold_m) const {
+  ChannelProfile profile;
+  profile.line_of_sight = distance_m(a, b) < los_threshold_m;
+  const double gain = link_gain(a, b, rng);
+  return MimoChannel(n_rx, n_tx, gain, profile, rng);
+}
+
+double Testbed::noise_power_linear() const {
+  return util::from_db(budget_.noise_floor_dbm - budget_.tx_power_dbm);
+}
+
+}  // namespace nplus::channel

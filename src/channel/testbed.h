@@ -1,0 +1,62 @@
+// The experimental floor plan: a stand-in for the paper's Fig. 10 testbed.
+//
+// Fig. 10 marks ~20 candidate node locations across an office floor, a mix
+// of line-of-sight and non-line-of-sight pairs. Experiments assign the
+// scenario's nodes to random distinct locations per run and redraw channels;
+// CDFs are taken across runs, mirroring the paper's methodology ("We repeat
+// the experiment with different random locations in the testbed").
+#pragma once
+
+#include <vector>
+
+#include "channel/mimo_channel.h"
+#include "channel/pathloss.h"
+#include "util/rng.h"
+
+namespace nplus::channel {
+
+struct Location {
+  double x_m;
+  double y_m;
+};
+
+class Testbed {
+ public:
+  // The default floor plan: 20 locations over a ~30 m x 18 m office.
+  Testbed();
+  explicit Testbed(std::vector<Location> locations, PathLossModel pl = {},
+                   LinkBudget budget = {});
+
+  std::size_t n_locations() const { return locations_.size(); }
+  const Location& location(std::size_t i) const { return locations_[i]; }
+  const PathLossModel& path_loss() const { return pl_; }
+  const LinkBudget& budget() const { return budget_; }
+
+  double distance_m(std::size_t a, std::size_t b) const;
+
+  // Draws a random assignment of `n_nodes` distinct locations.
+  std::vector<std::size_t> random_placement(std::size_t n_nodes,
+                                            util::Rng& rng) const;
+
+  // Linear channel power gain between two locations (path loss + one
+  // shadowing draw), i.e. E[|h|^2] summed over taps for a unit-power TX.
+  double link_gain(std::size_t a, std::size_t b, util::Rng& rng) const;
+
+  // Full random MIMO channel between locations a (tx) and b (rx). Links
+  // shorter than `los_threshold_m` are modeled line-of-sight (Rician).
+  MimoChannel make_channel(std::size_t a, std::size_t b, std::size_t n_tx,
+                           std::size_t n_rx, util::Rng& rng,
+                           double los_threshold_m = 6.0) const;
+
+  // Noise power in linear units matching the unit-TX-power convention:
+  // a transmission is sent with mean power 1.0 and the channel gain is the
+  // linear path gain, so noise power = 10^((noise_floor - tx_power)/10).
+  double noise_power_linear() const;
+
+ private:
+  std::vector<Location> locations_;
+  PathLossModel pl_;
+  LinkBudget budget_;
+};
+
+}  // namespace nplus::channel

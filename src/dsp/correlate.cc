@@ -1,0 +1,66 @@
+#include "dsp/correlate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nplus::dsp {
+
+double normalized_correlation(const std::vector<cdouble>& samples,
+                              std::size_t offset,
+                              const std::vector<cdouble>& window) {
+  if (offset + window.size() > samples.size() || window.empty()) return 0.0;
+  cdouble acc{0.0, 0.0};
+  double p_energy = 0.0;
+  double y_energy = 0.0;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const cdouble y = samples[offset + i];
+    acc += std::conj(window[i]) * y;
+    p_energy += std::norm(window[i]);
+    y_energy += std::norm(y);
+  }
+  const double denom = std::sqrt(p_energy * y_energy);
+  if (denom <= 0.0) return 0.0;
+  return std::abs(acc) / denom;
+}
+
+std::vector<double> sliding_correlation(const std::vector<cdouble>& samples,
+                                        const std::vector<cdouble>& window) {
+  std::vector<double> out;
+  if (window.empty() || samples.size() < window.size()) return out;
+  out.reserve(samples.size() - window.size() + 1);
+  for (std::size_t off = 0; off + window.size() <= samples.size(); ++off) {
+    out.push_back(normalized_correlation(samples, off, window));
+  }
+  return out;
+}
+
+double autocorrelation_metric(const std::vector<cdouble>& samples,
+                              std::size_t offset, std::size_t lag) {
+  if (offset + 2 * lag > samples.size() || lag == 0) return 0.0;
+  cdouble acc{0.0, 0.0};
+  double energy = 0.0;
+  for (std::size_t i = 0; i < lag; ++i) {
+    const cdouble a = samples[offset + i];
+    const cdouble b = samples[offset + i + lag];
+    acc += a * std::conj(b);
+    energy += std::norm(b);
+  }
+  if (energy <= 0.0) return 0.0;
+  return std::abs(acc) / energy;
+}
+
+double window_power(const std::vector<cdouble>& samples, std::size_t offset,
+                    std::size_t len) {
+  if (offset >= samples.size() || len == 0) return 0.0;
+  const std::size_t end = std::min(samples.size(), offset + len);
+  double p = 0.0;
+  for (std::size_t i = offset; i < end; ++i) p += std::norm(samples[i]);
+  return p / static_cast<double>(end - offset);
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+}  // namespace nplus::dsp

@@ -1,0 +1,43 @@
+// Sliding correlation primitives for 802.11-style packet detection.
+//
+// Carrier sense in 802.11 has two detector components (§6.1 of the paper):
+//  1. an energy detector (power above threshold), and
+//  2. a preamble cross-correlator over the 10 short training symbols.
+// Both are implemented here over complex sample streams; the n+ twist
+// (projecting the multi-antenna stream first) lives in nulling/carrier_sense.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace nplus::dsp {
+
+using cdouble = std::complex<double>;
+
+// Normalized cross-correlation of `window` (the known preamble) against
+// `samples` starting at `offset`:
+//   |sum conj(p_i) y_{offset+i}| / (|p| * |y_window|).
+// Returns a value in [0, 1]; 1 means a perfect scaled match.
+double normalized_correlation(const std::vector<cdouble>& samples,
+                              std::size_t offset,
+                              const std::vector<cdouble>& window);
+
+// Sliding normalized correlation evaluated at every feasible offset.
+std::vector<double> sliding_correlation(const std::vector<cdouble>& samples,
+                                        const std::vector<cdouble>& window);
+
+// Schmidl-Cox style autocorrelation metric with lag L over a window of L:
+//   |sum y_{i} conj(y_{i+L})| / sum |y_{i+L}|^2,
+// evaluated at `offset`. Peaks when the signal is periodic with period L,
+// as the 802.11 short training sequence is (L = 16). Robust to CFO.
+double autocorrelation_metric(const std::vector<cdouble>& samples,
+                              std::size_t offset, std::size_t lag);
+
+// Mean power (|y|^2 averaged) over [offset, offset+len); truncates at end.
+double window_power(const std::vector<cdouble>& samples, std::size_t offset,
+                    std::size_t len);
+
+// Index of the maximum of a real-valued metric sequence.
+std::size_t argmax(const std::vector<double>& v);
+
+}  // namespace nplus::dsp

@@ -1,0 +1,92 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+namespace nplus::dsp {
+
+namespace {
+
+// Twiddle cache keyed by FFT size. The simulator is single-threaded by
+// design (deterministic event loop), so a plain map is safe.
+const std::vector<cdouble>& twiddles(std::size_t n) {
+  static std::map<std::size_t, std::vector<cdouble>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::vector<cdouble> w(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k) / static_cast<double>(n);
+      w[k] = {std::cos(ang), std::sin(ang)};
+    }
+    it = cache.emplace(n, std::move(w)).first;
+  }
+  return it->second;
+}
+
+void bit_reverse_permute(std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (i < j) std::swap(x[i], x[j]);
+    std::size_t mask = n >> 1;
+    while (j & mask) {
+      j &= ~mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  assert(is_power_of_two(n));
+  if (n <= 1) return;
+  bit_reverse_permute(x);
+  const auto& w = twiddles(n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t start = 0; start < n; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble t = w[k * stride] * x[start + k + len / 2];
+        const cdouble u = x[start + k];
+        x[start + k] = u + t;
+        x[start + k + len / 2] = u - t;
+      }
+    }
+  }
+}
+
+void ifft_inplace(std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  for (auto& v : x) v = std::conj(v);
+  fft_inplace(x);
+  const double inv = 1.0 / static_cast<double>(n);
+  for (auto& v : x) v = std::conj(v) * inv;
+}
+
+std::vector<cdouble> fft(std::vector<cdouble> x) {
+  fft_inplace(x);
+  return x;
+}
+
+std::vector<cdouble> ifft(std::vector<cdouble> x) {
+  ifft_inplace(x);
+  return x;
+}
+
+std::vector<cdouble> fftshift(const std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  std::vector<cdouble> out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + half) % n];
+  return out;
+}
+
+}  // namespace nplus::dsp

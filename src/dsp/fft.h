@@ -1,0 +1,32 @@
+// Radix-2 iterative FFT / IFFT for power-of-two sizes.
+//
+// The OFDM PHY uses 64-point transforms on the hot path; twiddle factors are
+// cached per size in a small table so repeated transforms do no trig.
+// Convention: fft computes X_k = sum_n x_n e^{-j 2 pi k n / N} (no scaling);
+// ifft applies the conjugate kernel and divides by N, so ifft(fft(x)) == x.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace nplus::dsp {
+
+using cdouble = std::complex<double>;
+
+// In-place forward FFT; size must be a power of two.
+void fft_inplace(std::vector<cdouble>& x);
+// In-place inverse FFT (scaled by 1/N); size must be a power of two.
+void ifft_inplace(std::vector<cdouble>& x);
+
+// Out-of-place conveniences.
+std::vector<cdouble> fft(std::vector<cdouble> x);
+std::vector<cdouble> ifft(std::vector<cdouble> x);
+
+// True if n is a nonzero power of two.
+bool is_power_of_two(std::size_t n);
+
+// FFT-shift: swaps the two halves so index 0 (DC) moves to the middle.
+// Used when mapping OFDM subcarrier indices -pi..pi style.
+std::vector<cdouble> fftshift(const std::vector<cdouble>& x);
+
+}  // namespace nplus::dsp

@@ -1,0 +1,59 @@
+#include "dsp/signal.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace nplus::dsp {
+
+void mix_into(Samples& a, const Samples& b, std::size_t offset) {
+  if (a.size() < offset + b.size()) a.resize(offset + b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) a[offset + i] += b[i];
+}
+
+double mean_power(const Samples& x) {
+  if (x.empty()) return 0.0;
+  double p = 0.0;
+  for (const auto& v : x) p += std::norm(v);
+  return p / static_cast<double>(x.size());
+}
+
+Samples scale_to_power(Samples x, double power) {
+  const double p = mean_power(x);
+  if (p <= 0.0) return x;
+  const double g = std::sqrt(power / p);
+  for (auto& v : x) v *= g;
+  return x;
+}
+
+Samples apply_cfo(const Samples& x, double cfo_norm, std::size_t start_index) {
+  Samples out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ang = 2.0 * std::numbers::pi * cfo_norm *
+                       static_cast<double>(start_index + i);
+    out[i] = x[i] * cdouble{std::cos(ang), std::sin(ang)};
+  }
+  return out;
+}
+
+Samples delay(Samples x, std::size_t delay_samples) {
+  x.insert(x.begin(), delay_samples, cdouble{0.0, 0.0});
+  return x;
+}
+
+Samples scale(Samples x, cdouble gain) {
+  for (auto& v : x) v *= gain;
+  return x;
+}
+
+Samples convolve(const Samples& x, const Samples& taps) {
+  if (x.empty() || taps.empty()) return {};
+  Samples out(x.size() + taps.size() - 1, cdouble{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const cdouble xi = x[i];
+    if (xi == cdouble{0.0, 0.0}) continue;
+    for (std::size_t k = 0; k < taps.size(); ++k) out[i + k] += xi * taps[k];
+  }
+  return out;
+}
+
+}  // namespace nplus::dsp

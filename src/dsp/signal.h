@@ -1,0 +1,39 @@
+// Sample-stream helpers: mixing, delaying, CFO rotation, power measurement.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace nplus::dsp {
+
+using cdouble = std::complex<double>;
+using Samples = std::vector<cdouble>;
+
+// Adds `b` into `a` starting at sample `offset` in `a`, growing `a` if
+// needed. This is how concurrent transmissions combine on the medium.
+void mix_into(Samples& a, const Samples& b, std::size_t offset = 0);
+
+// Returns `x` scaled so its mean power is `power` (no-op on silence).
+Samples scale_to_power(Samples x, double power);
+
+// Mean power of the whole stream.
+double mean_power(const Samples& x);
+
+// Applies a carrier-frequency-offset rotation e^{j 2 pi f t}: `cfo_norm` is
+// the frequency offset normalized to the sample rate (i.e. cycles/sample),
+// and `start_index` is the absolute time index of x[0] so that the phase is
+// continuous across fragments.
+Samples apply_cfo(const Samples& x, double cfo_norm,
+                  std::size_t start_index = 0);
+
+// Integer-sample delay: prepends `delay` zeros.
+Samples delay(Samples x, std::size_t delay_samples);
+
+// Elementwise scale by a complex gain.
+Samples scale(Samples x, cdouble gain);
+
+// Convolution of x with an FIR `taps` ("full" length: x.size()+taps.size()-1).
+// Used to run samples through a multipath tapped-delay-line channel.
+Samples convolve(const Samples& x, const Samples& taps);
+
+}  // namespace nplus::dsp

@@ -1,0 +1,76 @@
+// Matrix decompositions: pivoted LU (solve / inverse / determinant),
+// Householder QR (thin and full, with column pivoting for rank detection),
+// and a one-sided Jacobi SVD for general complex matrices.
+//
+// Sizes here are small (<= ~8), so numerically robust O(n^3) algorithms are
+// the right tradeoff; no blocking or vectorization is attempted.
+#pragma once
+
+#include <optional>
+
+#include "linalg/mat.h"
+
+namespace nplus::linalg {
+
+// --- LU ---------------------------------------------------------------
+
+// PA = LU factorization with partial pivoting of a square matrix.
+struct Lu {
+  CMat lu;                    // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm;  // row permutation: row i of PA is row perm[i] of A
+  int sign = 1;               // permutation sign, for determinant
+  bool singular = false;      // a pivot fell below tolerance
+};
+Lu lu_factor(const CMat& a, double tol = 1e-12);
+
+// Solves A x = b via a precomputed factorization. Undefined if singular.
+CVec lu_solve(const Lu& f, const CVec& b);
+// Solves A X = B column-by-column.
+CMat lu_solve(const Lu& f, const CMat& b);
+
+// Convenience: solves A x = b; returns nullopt if A is (near-)singular.
+std::optional<CVec> solve(const CMat& a, const CVec& b, double tol = 1e-12);
+std::optional<CMat> solve(const CMat& a, const CMat& b, double tol = 1e-12);
+
+// Inverse of a square matrix; nullopt if singular.
+std::optional<CMat> inverse(const CMat& a, double tol = 1e-12);
+
+cdouble determinant(const CMat& a);
+
+// --- QR ---------------------------------------------------------------
+
+// Householder QR of an m x n matrix.
+//   full:  Q is m x m unitary, R is m x n upper triangular.
+//   thin:  Q is m x min(m,n),  R is min(m,n) x n.
+struct Qr {
+  CMat q;
+  CMat r;
+  std::vector<std::size_t> col_perm;  // only set by pivoted QR: A P = Q R
+  std::size_t rank = 0;               // numerical rank (pivoted QR only)
+};
+Qr qr_full(const CMat& a);
+Qr qr_thin(const CMat& a);
+// Column-pivoted (rank-revealing) full QR; rank determined via rel_tol
+// relative to the largest diagonal of R.
+Qr qr_pivoted(const CMat& a, double rel_tol = 1e-10);
+
+// --- SVD --------------------------------------------------------------
+
+// Thin singular value decomposition A = U diag(S) V^H via one-sided Jacobi.
+// U is m x min(m,n), S has min(m,n) nonnegative entries in descending order,
+// V is n x min(m,n).
+struct Svd {
+  CMat u;
+  std::vector<double> s;
+  CMat v;
+};
+Svd svd(const CMat& a, int max_sweeps = 60, double tol = 1e-13);
+
+// Moore-Penrose pseudo-inverse via SVD, with singular values below
+// rel_tol * s_max treated as zero.
+CMat pinv(const CMat& a, double rel_tol = 1e-12);
+
+// 2-norm condition number (s_max / s_min); infinity if rank-deficient.
+double cond(const CMat& a);
+
+}  // namespace nplus::linalg

@@ -1,0 +1,242 @@
+#include "linalg/mat.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace nplus::linalg {
+
+CVec& CVec::operator+=(const CVec& o) {
+  assert(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += o[i];
+  return *this;
+}
+
+CVec& CVec::operator-=(const CVec& o) {
+  assert(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o[i];
+  return *this;
+}
+
+CVec& CVec::operator*=(cdouble s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double CVec::norm_sq() const {
+  double s = 0.0;
+  for (const auto& v : data_) s += std::norm(v);
+  return s;
+}
+
+double CVec::norm() const { return std::sqrt(norm_sq()); }
+
+CVec CVec::normalized() const {
+  const double n = norm();
+  if (n == 0.0) return *this;
+  CVec out = *this;
+  out *= cdouble{1.0 / n, 0.0};
+  return out;
+}
+
+CVec operator+(CVec a, const CVec& b) { return a += b; }
+CVec operator-(CVec a, const CVec& b) { return a -= b; }
+CVec operator*(cdouble s, CVec v) { return v *= s; }
+CVec operator*(CVec v, cdouble s) { return v *= s; }
+
+cdouble dot(const CVec& a, const CVec& b) {
+  assert(a.size() == b.size());
+  cdouble s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+CMat::CMat(std::initializer_list<std::initializer_list<cdouble>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    assert(row.size() == cols_);
+    for (const auto& v : row) data_.push_back(v);
+  }
+}
+
+CMat CMat::identity(std::size_t n) {
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cdouble{1.0, 0.0};
+  return m;
+}
+
+CMat CMat::zeros(std::size_t rows, std::size_t cols) {
+  return CMat(rows, cols);
+}
+
+CMat& CMat::operator+=(const CMat& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+CMat& CMat::operator-=(const CMat& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+CMat& CMat::operator*=(cdouble s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+CMat CMat::hermitian() const {
+  CMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMat CMat::transpose() const {
+  CMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+CMat CMat::conjugate() const {
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = std::conj(data_[i]);
+  return out;
+}
+
+CVec CMat::col(std::size_t c) const {
+  CVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+CVec CMat::row(std::size_t r) const {
+  CVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+void CMat::set_col(std::size_t c, const CVec& v) {
+  assert(v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+void CMat::set_row(std::size_t r, const CVec& v) {
+  assert(v.size() == cols_);
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+CMat CMat::vstack(const CMat& below) const {
+  if (empty()) return below;
+  if (below.empty()) return *this;
+  assert(cols_ == below.cols_);
+  CMat out(rows_ + below.rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) = (*this)(r, c);
+  for (std::size_t r = 0; r < below.rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(rows_ + r, c) = below(r, c);
+  return out;
+}
+
+CMat CMat::hstack(const CMat& right) const {
+  if (empty()) return right;
+  if (right.empty()) return *this;
+  assert(rows_ == right.rows_);
+  CMat out(rows_, cols_ + right.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) = (*this)(r, c);
+    for (std::size_t c = 0; c < right.cols_; ++c)
+      out(r, cols_ + c) = right(r, c);
+  }
+  return out;
+}
+
+CMat CMat::block(std::size_t r0, std::size_t r1, std::size_t c0,
+                 std::size_t c1) const {
+  assert(r1 <= rows_ && c1 <= cols_ && r0 <= r1 && c0 <= c1);
+  CMat out(r1 - r0, c1 - c0);
+  for (std::size_t r = r0; r < r1; ++r)
+    for (std::size_t c = c0; c < c1; ++c) out(r - r0, c - c0) = (*this)(r, c);
+  return out;
+}
+
+double CMat::norm_sq() const {
+  double s = 0.0;
+  for (const auto& v : data_) s += std::norm(v);
+  return s;
+}
+
+double CMat::norm() const { return std::sqrt(norm_sq()); }
+
+double CMat::max_abs() const {
+  double m = 0.0;
+  for (const auto& v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string CMat::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const auto& v = (*this)(r, c);
+      os << "(" << v.real() << (v.imag() >= 0 ? "+" : "") << v.imag() << "j)";
+      if (c + 1 < cols_) os << ", ";
+    }
+    os << (r + 1 == rows_ ? "]" : "\n");
+  }
+  return os.str();
+}
+
+CMat operator+(CMat a, const CMat& b) { return a += b; }
+CMat operator-(CMat a, const CMat& b) { return a -= b; }
+CMat operator*(cdouble s, CMat m) { return m *= s; }
+
+CMat operator*(const CMat& a, const CMat& b) {
+  assert(a.cols() == b.rows());
+  CMat out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const cdouble ark = a(r, k);
+      if (ark == cdouble{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) out(r, c) += ark * b(k, c);
+    }
+  }
+  return out;
+}
+
+CVec operator*(const CMat& a, const CVec& x) {
+  assert(a.cols() == x.size());
+  CVec out(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    cdouble s{0.0, 0.0};
+    for (std::size_t c = 0; c < a.cols(); ++c) s += a(r, c) * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+CMat from_cols(const std::vector<CVec>& cols) {
+  if (cols.empty()) return {};
+  CMat out(cols[0].size(), cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) out.set_col(c, cols[c]);
+  return out;
+}
+
+double max_abs_diff(const CMat& a, const CMat& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::abs(a(r, c) - b(r, c)));
+  return m;
+}
+
+}  // namespace nplus::linalg

@@ -1,0 +1,130 @@
+// Dense complex matrix / vector types used throughout the PHY and precoder.
+//
+// MIMO dimensions in this system are tiny (at most ~4x4 per subcarrier), but
+// the per-subcarrier loops run millions of times in signal-level experiments,
+// so the implementation favors flat contiguous storage and avoids virtual
+// dispatch or expression templates. All algebra is double-precision complex.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace nplus::linalg {
+
+using cdouble = std::complex<double>;
+
+// Column vector of complex doubles.
+class CVec {
+ public:
+  CVec() = default;
+  explicit CVec(std::size_t n) : data_(n, cdouble{0.0, 0.0}) {}
+  CVec(std::initializer_list<cdouble> init) : data_(init) {}
+  explicit CVec(std::vector<cdouble> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  cdouble& operator[](std::size_t i) { return data_[i]; }
+  const cdouble& operator[](std::size_t i) const { return data_[i]; }
+  const std::vector<cdouble>& data() const { return data_; }
+  std::vector<cdouble>& data() { return data_; }
+
+  CVec& operator+=(const CVec& o);
+  CVec& operator-=(const CVec& o);
+  CVec& operator*=(cdouble s);
+
+  // Euclidean norm and squared norm.
+  double norm() const;
+  double norm_sq() const;
+
+  // Returns this vector scaled to unit norm; zero vector returns itself.
+  CVec normalized() const;
+
+ private:
+  std::vector<cdouble> data_;
+};
+
+CVec operator+(CVec a, const CVec& b);
+CVec operator-(CVec a, const CVec& b);
+CVec operator*(cdouble s, CVec v);
+CVec operator*(CVec v, cdouble s);
+
+// Hermitian inner product <a, b> = sum conj(a_i) * b_i.
+cdouble dot(const CVec& a, const CVec& b);
+
+// Row-major dense complex matrix.
+class CMat {
+ public:
+  CMat() = default;
+  CMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cdouble{0.0, 0.0}) {}
+  // Construct from nested initializer list: CMat{{a,b},{c,d}}.
+  CMat(std::initializer_list<std::initializer_list<cdouble>> init);
+
+  static CMat identity(std::size_t n);
+  static CMat zeros(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  cdouble& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const cdouble& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  CMat& operator+=(const CMat& o);
+  CMat& operator-=(const CMat& o);
+  CMat& operator*=(cdouble s);
+
+  // Conjugate (Hermitian) transpose.
+  CMat hermitian() const;
+  // Plain transpose (no conjugation) — used for channel reciprocity, where
+  // the reverse channel is the transpose of the forward channel.
+  CMat transpose() const;
+  CMat conjugate() const;
+
+  CVec col(std::size_t c) const;
+  CVec row(std::size_t r) const;
+  void set_col(std::size_t c, const CVec& v);
+  void set_row(std::size_t r, const CVec& v);
+
+  // Stacks `below` underneath this matrix (column counts must match).
+  CMat vstack(const CMat& below) const;
+  // Appends `right` to the right (row counts must match).
+  CMat hstack(const CMat& right) const;
+  // Rows [r0, r1) and columns [c0, c1).
+  CMat block(std::size_t r0, std::size_t r1, std::size_t c0,
+             std::size_t c1) const;
+
+  // Frobenius norm.
+  double norm() const;
+  double norm_sq() const;
+
+  // Largest |a_ij| — cheap magnitude check used in tests.
+  double max_abs() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cdouble> data_;
+};
+
+CMat operator+(CMat a, const CMat& b);
+CMat operator-(CMat a, const CMat& b);
+CMat operator*(cdouble s, CMat m);
+CMat operator*(const CMat& a, const CMat& b);
+CVec operator*(const CMat& a, const CVec& x);
+
+// Builds a matrix whose columns are the given vectors (all same length).
+CMat from_cols(const std::vector<CVec>& cols);
+
+// Max elementwise |a - b|; defined for equal shapes.
+double max_abs_diff(const CMat& a, const CMat& b);
+
+}  // namespace nplus::linalg

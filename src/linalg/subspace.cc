@@ -1,0 +1,61 @@
+#include "linalg/subspace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/decomp.h"
+
+namespace nplus::linalg {
+
+CMat orthonormal_basis(const CMat& a, double rel_tol) {
+  if (a.empty()) return CMat(a.rows(), 0);
+  const Qr f = qr_pivoted(a, rel_tol);
+  return f.q.block(0, a.rows(), 0, f.rank);
+}
+
+CMat orthogonal_complement(const CMat& a, double rel_tol) {
+  if (a.empty() || a.cols() == 0) return CMat::identity(a.rows());
+  const Qr f = qr_pivoted(a, rel_tol);
+  // Columns of Q beyond the numerical rank span the complement.
+  return f.q.block(0, a.rows(), f.rank, a.rows());
+}
+
+CMat null_space(const CMat& a, double rel_tol) {
+  // null(A) = complement of the column space of A^H in C^{cols(A)}.
+  return orthogonal_complement(a.hermitian(), rel_tol);
+}
+
+CMat projector(const CMat& basis) { return basis * basis.hermitian(); }
+
+CVec project_onto(const CMat& basis, const CVec& y) {
+  return basis * (basis.hermitian() * y);
+}
+
+CVec coordinates_in(const CMat& basis, const CVec& y) {
+  return basis.hermitian() * y;
+}
+
+double principal_angle(const CMat& basis_a, const CMat& basis_b) {
+  assert(basis_a.rows() == basis_b.rows());
+  if (basis_a.cols() == 0 || basis_b.cols() == 0) return 0.0;
+  // Principal angles from the singular values of A^H B: cos(theta_i) = s_i.
+  const Svd d = svd(basis_a.hermitian() * basis_b);
+  const std::size_t k = std::min(basis_a.cols(), basis_b.cols());
+  double smallest = 1.0;
+  for (std::size_t i = 0; i < k && i < d.s.size(); ++i)
+    smallest = std::min(smallest, d.s[i]);
+  smallest = std::clamp(smallest, -1.0, 1.0);
+  return std::acos(smallest);
+}
+
+bool contains_subspace(const CMat& basis, const CMat& vectors, double tol) {
+  for (std::size_t c = 0; c < vectors.cols(); ++c) {
+    const CVec v = vectors.col(c);
+    const CVec residual = v - project_onto(basis, v);
+    if (residual.norm() > tol * std::max(1.0, v.norm())) return false;
+  }
+  return true;
+}
+
+}  // namespace nplus::linalg

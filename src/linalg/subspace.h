@@ -1,0 +1,52 @@
+// Subspace operations: orthonormal bases, orthogonal complements, null
+// spaces, and projections.
+//
+// These are the primitives behind the two central ideas of 802.11n+:
+//  * multi-dimensional carrier sense = project the received vector onto the
+//    orthogonal complement of the ongoing transmissions' channel subspace;
+//  * nulling/alignment precoding = pick transmit vectors in the null space
+//    of the stacked constraint matrix (Claim 3.5 / Eq. 7 of the paper).
+#pragma once
+
+#include "linalg/mat.h"
+
+namespace nplus::linalg {
+
+// Orthonormal basis for the column space of `a` (columns of the result),
+// with numerical rank detection. Returns an a.rows() x rank matrix.
+CMat orthonormal_basis(const CMat& a, double rel_tol = 1e-10);
+
+// Orthonormal basis of the orthogonal complement of span(columns of a) in
+// C^{a.rows()}. Returns an a.rows() x (a.rows() - rank) matrix whose columns
+// w_i satisfy w_i^H a_j = 0 for every column a_j of `a`.
+// An empty `a` (zero columns) yields the identity basis.
+CMat orthogonal_complement(const CMat& a, double rel_tol = 1e-10);
+
+// Right null space of `a`: orthonormal columns n_i with a * n_i = 0.
+// For a full-row-rank K x M matrix this is M - K dimensional (Claim 3.2's
+// "m = M - K streams" falls directly out of this dimension count).
+CMat null_space(const CMat& a, double rel_tol = 1e-10);
+
+// Projection matrix P = B B^H onto the column space of an *orthonormal* B.
+CMat projector(const CMat& basis);
+
+// Projects vector y onto span(basis) (basis must be orthonormal): B B^H y.
+CVec project_onto(const CMat& basis, const CVec& y);
+
+// Coordinates of y in the basis: B^H y (length = #basis columns). This is
+// what a carrier-sensing node computes: the received signal expressed in the
+// interference-free directions w_1..w_k (the paper's ~y' = (w_i . y)).
+CVec coordinates_in(const CMat& basis, const CVec& y);
+
+// Largest principal angle (radians) between the column spaces of two
+// orthonormal bases. 0 => identical subspaces; pi/2 => orthogonal direction
+// present. Used to test alignment quality and the §3.5 observation that the
+// alignment space varies smoothly across OFDM subcarriers.
+double principal_angle(const CMat& basis_a, const CMat& basis_b);
+
+// True if every column of `vectors` lies in span(basis) within tol
+// (basis orthonormal).
+bool contains_subspace(const CMat& basis, const CMat& vectors,
+                       double tol = 1e-9);
+
+}  // namespace nplus::linalg

@@ -1,0 +1,73 @@
+#include "mac/airtime.h"
+
+namespace nplus::mac {
+
+namespace {
+
+double symbol_s(const AirtimeConfig& cfg) {
+  return cfg.ofdm.symbol_duration_s();
+}
+
+}  // namespace
+
+double preamble_s(const AirtimeConfig& cfg, std::size_t n_streams) {
+  // STF: 10 short symbols = 2 full symbols' worth of samples (160 at 64-pt);
+  // LTF: 160 samples per stream.
+  const double sample_s = 1.0 / cfg.ofdm.sample_rate_hz;
+  const double stf = 10.0 * (cfg.ofdm.scaled_fft() / 4.0) * sample_s;
+  const double ltf =
+      static_cast<double>(n_streams) *
+      (2.0 * cfg.ofdm.scaled_cp() + 2.0 * cfg.ofdm.scaled_fft()) * sample_s;
+  return stf + ltf;
+}
+
+double body_s(const AirtimeConfig& cfg, const phy::Mcs& mcs,
+              std::size_t bytes, std::size_t n_streams) {
+  return static_cast<double>(phy::n_data_symbols(mcs, bytes, n_streams)) *
+         symbol_s(cfg);
+}
+
+double dot11n_exchange_s(const AirtimeConfig& cfg, const phy::Mcs& mcs,
+                         std::size_t bytes, std::size_t n_streams) {
+  const double data = preamble_s(cfg, n_streams) +
+                      static_cast<double>(cfg.header_symbols) * symbol_s(cfg) +
+                      body_s(cfg, mcs, bytes, n_streams);
+  const phy::Mcs& base = phy::mcs_by_index(0);
+  const double ack = preamble_s(cfg, 1) +
+                     body_s(cfg, base, cfg.ack_bytes, 1);
+  return data + cfg.timing.sifs_s + ack;
+}
+
+double nplus_handshake_s(const AirtimeConfig& cfg, std::size_t n_streams) {
+  const double data_hdr =
+      preamble_s(cfg, n_streams) +
+      static_cast<double>(cfg.header_symbols + cfg.nplus_data_header_extra) *
+          symbol_s(cfg);
+  const double ack_hdr =
+      preamble_s(cfg, 1) +
+      static_cast<double>(cfg.header_symbols + cfg.nplus_ack_header_extra) *
+          symbol_s(cfg);
+  return data_hdr + cfg.timing.sifs_s + ack_hdr + cfg.timing.sifs_s;
+}
+
+double nplus_ack_s(const AirtimeConfig& cfg) {
+  // The ACK *header* (with bitrate + alignment space) was already exchanged
+  // during the light-weight handshake; the trailing concurrent ACK is only
+  // the stub body: a sync preamble plus one OFDM symbol.
+  return preamble_s(cfg, 1) + symbol_s(cfg);
+}
+
+double handshake_overhead_fraction(const AirtimeConfig& cfg,
+                                   const phy::Mcs& mcs, std::size_t bytes) {
+  // Extra cost of n+ vs 802.11n for a single pair: two SIFS plus the header
+  // extension symbols (the header/body split itself moves symbols around
+  // without adding any).
+  const double extra =
+      2.0 * cfg.timing.sifs_s +
+      static_cast<double>(cfg.nplus_data_header_extra +
+                          cfg.nplus_ack_header_extra) *
+          symbol_s(cfg);
+  return extra / dot11n_exchange_s(cfg, mcs, bytes, 1);
+}
+
+}  // namespace nplus::mac

@@ -1,0 +1,58 @@
+// Airtime accounting for 802.11n-style exchanges and the n+ light-weight
+// handshake (§3.5, Fig. 8).
+//
+// 802.11 exchange:  [preamble+header | body]  SIFS  [preamble | ACK]
+// n+ exchange:      [preamble+header] SIFS [preamble+ACK header] SIFS
+//                   [body ....................] SIFS [ACK]
+// i.e. headers are split from bodies and exchanged first; the extra cost is
+// two SIFS intervals plus the n+ header extensions: the ACK header carries
+// the chosen bitrate + compressed alignment space (~3 OFDM symbols) and a
+// checksum (1 symbol with the bitrate), the data header gains 1 symbol.
+// The paper totals this at "2 SIFS + 4 OFDM symbols ~ 4% at 1500 B/18 Mb/s".
+#pragma once
+
+#include <cstddef>
+
+#include "phy/mcs.h"
+#include "phy/ofdm_params.h"
+
+namespace nplus::mac {
+
+struct AirtimeConfig {
+  phy::OfdmParams ofdm;
+  phy::MacTiming timing;
+  // PLCP-style header symbols (SIGNAL field equivalent), sent at base rate.
+  std::size_t header_symbols = 5;  // covers FrameHeader::kWireSize at MCS0
+  // n+ extensions (§3.5): data header +1 symbol; ACK header +4 symbols
+  // (3 alignment-space symbols + 1 bitrate/CRC symbol).
+  std::size_t nplus_data_header_extra = 1;
+  std::size_t nplus_ack_header_extra = 4;
+  std::size_t ack_bytes = 14;
+};
+
+// Preamble duration: STF + one LTF per stream.
+double preamble_s(const AirtimeConfig& cfg, std::size_t n_streams);
+
+// Data body duration for `bytes` at `mcs` over `n_streams`.
+double body_s(const AirtimeConfig& cfg, const phy::Mcs& mcs,
+              std::size_t bytes, std::size_t n_streams);
+
+// Complete 802.11n exchange (no RTS/CTS): preamble + header + body + SIFS +
+// ACK (ACK at base rate).
+double dot11n_exchange_s(const AirtimeConfig& cfg, const phy::Mcs& mcs,
+                         std::size_t bytes, std::size_t n_streams);
+
+// n+ light-weight handshake cost for ONE participating pair: data header +
+// SIFS + ACK header + SIFS (bodies are accounted separately since they run
+// concurrently across pairs).
+double nplus_handshake_s(const AirtimeConfig& cfg, std::size_t n_streams);
+
+// n+ concurrent-ACK duration (all ACKs ride together; one ACK airtime).
+double nplus_ack_s(const AirtimeConfig& cfg);
+
+// Fraction of a 802.11n exchange added by the light-weight handshake
+// (the paper's ~4% number for 1500 B at 18 Mb/s).
+double handshake_overhead_fraction(const AirtimeConfig& cfg,
+                                   const phy::Mcs& mcs, std::size_t bytes);
+
+}  // namespace nplus::mac

@@ -1,0 +1,33 @@
+#include "mac/event_sim.h"
+
+#include <cassert>
+
+namespace nplus::mac {
+
+void EventSim::schedule_at(SimTime t, Handler fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventSim::run(SimTime until) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast-free copy
+    // of the handler after popping the ordering fields.
+    const Event& top = queue_.top();
+    if (top.t > until) break;
+    Event ev{top.t, top.seq, top.fn};
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+  }
+  if (now_ < until && queue_.empty()) {
+    // Time does not advance past the last event; callers that need wall
+    // progress schedule their own ticks.
+  }
+}
+
+void EventSim::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace nplus::mac

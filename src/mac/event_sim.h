@@ -1,0 +1,54 @@
+// Minimal deterministic discrete-event kernel.
+//
+// Single-threaded, time-ordered execution with FIFO tie-breaking (events
+// scheduled at the same instant run in scheduling order), which keeps every
+// simulation reproducible from its RNG seed alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace nplus::mac {
+
+using SimTime = double;  // seconds
+
+class EventSim {
+ public:
+  using Handler = std::function<void()>;
+
+  // Schedules `fn` at absolute time `t` (must be >= now()).
+  void schedule_at(SimTime t, Handler fn);
+  // Schedules `fn` `dt` seconds from now.
+  void schedule_in(SimTime dt, Handler fn) { schedule_at(now_ + dt, fn); }
+
+  SimTime now() const { return now_; }
+
+  // Runs until the queue empties or `until` is reached.
+  void run(SimTime until = 1e18);
+
+  // Drops all pending events (used by tests).
+  void clear();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nplus::mac

@@ -1,0 +1,22 @@
+#include "nulling/admission.h"
+
+#include <algorithm>
+
+namespace nplus::nulling {
+
+AdmissionDecision decide_join(const std::vector<double>& interference_snr_db,
+                              double own_snr_db,
+                              const AdmissionConfig& config) {
+  AdmissionDecision d;
+  double worst_excess = 0.0;
+  for (double snr : interference_snr_db) {
+    worst_excess =
+        std::max(worst_excess, snr - config.cancellation_limit_db);
+  }
+  d.power_backoff_db = -worst_excess;  // 0 when already under the limit
+  d.own_snr_after_db = own_snr_db + d.power_backoff_db;
+  d.join = d.own_snr_after_db >= config.min_own_snr_db;
+  return d;
+}
+
+}  // namespace nplus::nulling

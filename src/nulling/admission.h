@@ -1,0 +1,42 @@
+// Residual-error-aware admission and power control (§4, "Imperfections in
+// Nulling and Alignment").
+//
+// Hardware nonlinearity and channel-estimation noise cap the achievable
+// cancellation at L dB (the paper measures L ~ 25-27 dB). A joiner whose
+// signal would arrive at an ongoing receiver with more than L dB of SNR
+// cannot push its residual below the noise floor, so n+ makes it reduce its
+// transmit power until the pre-cancellation interference is at most L dB —
+// and it contends only at that reduced power. The joiner can predict the
+// interference power because (via reciprocity) it knows its channel to every
+// ongoing receiver.
+#pragma once
+
+#include <vector>
+
+namespace nplus::nulling {
+
+struct AdmissionConfig {
+  // Maximum cancellation the hardware can deliver (dB).
+  double cancellation_limit_db = 27.0;
+  // Lowest SNR at which the joiner's own link is still usable (the bottom
+  // of the MCS ladder); if power reduction pushes the joiner's own link
+  // below this, joining is pointless.
+  double min_own_snr_db = 4.0;
+};
+
+struct AdmissionDecision {
+  bool join = false;
+  // Transmit power scaling in dB (<= 0); applied to the joiner's streams.
+  double power_backoff_db = 0.0;
+  // Own-link SNR after the backoff.
+  double own_snr_after_db = 0.0;
+};
+
+// `interference_snr_db[j]`: predicted pre-cancellation SNR of the joiner's
+// signal at ongoing receiver j (at full power). `own_snr_db`: the joiner's
+// SNR at its own receiver at full power.
+AdmissionDecision decide_join(const std::vector<double>& interference_snr_db,
+                              double own_snr_db,
+                              const AdmissionConfig& config = {});
+
+}  // namespace nplus::nulling

@@ -1,0 +1,92 @@
+#include "nulling/carrier_sense.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dsp/correlate.h"
+#include "linalg/decomp.h"
+#include "linalg/subspace.h"
+
+namespace nplus::nulling {
+
+CMat occupied_subspace_from_channels(const CMat& channel_columns) {
+  return linalg::orthonormal_basis(channel_columns);
+}
+
+CMat estimate_occupied_subspace(const std::vector<Samples>& rx,
+                                std::size_t offset, std::size_t len,
+                                double noise_power,
+                                double noise_floor_scale) {
+  const std::size_t n = rx.size();
+  assert(n > 0);
+  const std::size_t end = std::min(rx[0].size(), offset + len);
+
+  // Spatial sample covariance R = E[y y^H].
+  CMat r(n, n);
+  std::size_t count = 0;
+  for (std::size_t i = offset; i < end; ++i) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        r(a, b) += rx[a][i] * std::conj(rx[b][i]);
+      }
+    }
+    ++count;
+  }
+  if (count == 0) return CMat(n, 0);
+  r *= cdouble{1.0 / static_cast<double>(count), 0.0};
+
+  // Eigen-decomposition via SVD (R is Hermitian PSD: singular vectors ==
+  // eigenvectors, singular values == eigenvalues).
+  const linalg::Svd d = linalg::svd(r);
+  const double floor = std::max(noise_power, 1e-15) * noise_floor_scale;
+  std::size_t k = 0;
+  while (k < d.s.size() && d.s[k] > floor) ++k;
+  // A sensing node must keep at least one interference-free dimension to
+  // listen in — with strong frequency-selective occupants the covariance
+  // can spill above the noise floor in every direction (multipath makes a
+  // single transmitter occupy more than one spatial dimension; the leftover
+  // leakage is the projected-domain noise floor the paper's Fig. 9(a)
+  // implicitly shows).
+  if (k >= n) k = n - 1;
+  return d.u.block(0, n, 0, k);
+}
+
+std::vector<Samples> project_out(const std::vector<Samples>& rx,
+                                 const CMat& occupied) {
+  const std::size_t n = rx.size();
+  assert(occupied.rows() == n);
+  const CMat w = linalg::orthogonal_complement(occupied);
+  const std::size_t d = w.cols();
+  const std::size_t len = rx.empty() ? 0 : rx[0].size();
+
+  std::vector<Samples> out(d, Samples(len));
+  // y'_j[t] = w_j^H y[t].
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t j = 0; j < d; ++j) {
+      cdouble acc{0.0, 0.0};
+      for (std::size_t a = 0; a < n; ++a) {
+        acc += std::conj(w(a, j)) * rx[a][t];
+      }
+      out[j][t] = acc;
+    }
+  }
+  return out;
+}
+
+CarrierSenseResult carrier_sense(const std::vector<Samples>& streams,
+                                 std::size_t offset, const Samples& preamble,
+                                 const CarrierSenseConfig& config) {
+  CarrierSenseResult result;
+  for (const auto& s : streams) {
+    result.power = std::max(
+        result.power, nplus::dsp::window_power(s, offset, config.window));
+    result.correlation =
+        std::max(result.correlation,
+                 nplus::dsp::normalized_correlation(s, offset, preamble));
+  }
+  result.busy_power = result.power > config.power_threshold;
+  result.busy_correlation = result.correlation > config.correlation_threshold;
+  return result;
+}
+
+}  // namespace nplus::nulling

@@ -1,0 +1,73 @@
+// Multi-dimensional carrier sense (§3.2).
+//
+// A node with N antennas receives the medium in an N-dimensional signal
+// space. K ongoing transmissions occupy a K-dimensional subspace of it; by
+// projecting onto the orthogonal complement, the node sees a signal stream
+// with *no* contribution from the ongoing transmissions and can run the two
+// standard 802.11 detectors — power threshold and short-preamble
+// cross-correlation — as if the medium were idle (Fig. 6 of the paper).
+//
+// The occupied subspace is learned from the ongoing transmitters' overheard
+// RTS preambles. Two estimators are provided:
+//  * from known per-transmitter channel estimates (the protocol path), and
+//  * from the sample covariance of an observation window (blind; used to
+//    study robustness and as the estimator in the Fig. 9 experiments where
+//    tx3 logs the medium and processes offline).
+#pragma once
+
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace nplus::nulling {
+
+using linalg::CMat;
+using linalg::CVec;
+using cdouble = linalg::cdouble;
+using Samples = std::vector<cdouble>;
+
+// Orthonormal basis of the subspace occupied by ongoing transmissions,
+// given their (time-domain dominant) channel vectors as columns of an
+// N x K matrix. Thin wrapper over linalg, named for protocol readability.
+CMat occupied_subspace_from_channels(const CMat& channel_columns);
+
+// Blind estimate: dominant eigenvectors of the spatial sample covariance
+// over [offset, offset+len). Eigenvalues within `noise_floor_scale` x the
+// smallest are treated as noise. Returns an N x K_hat orthonormal basis.
+CMat estimate_occupied_subspace(const std::vector<Samples>& rx,
+                                std::size_t offset, std::size_t len,
+                                double noise_power,
+                                double noise_floor_scale = 10.0);
+
+// Projects an N-antenna sample stream onto the orthogonal complement of
+// `occupied` (an N x K orthonormal basis), yielding N - K "virtual antenna"
+// streams that contain no energy from the ongoing transmissions.
+std::vector<Samples> project_out(const std::vector<Samples>& rx,
+                                 const CMat& occupied);
+
+// 802.11-style two-detector carrier sense over a window of the (possibly
+// projected) streams.
+struct CarrierSenseConfig {
+  double power_threshold;        // busy if mean power over window exceeds
+  double correlation_threshold = 0.6;  // busy if preamble correlation exceeds
+  std::size_t window = 160;      // samples (10 short symbols at cp_scale 1)
+};
+
+struct CarrierSenseResult {
+  double power = 0.0;        // max mean power across streams
+  double correlation = 0.0;  // max normalized preamble correlation
+  bool busy_power = false;
+  bool busy_correlation = false;
+  bool busy() const { return busy_power || busy_correlation; }
+};
+
+// Runs both detectors at `offset`. `preamble` is the known short-training
+// template (one short symbol repeated; pass the 10-symbol sequence the
+// paper correlates with). Correlation is evaluated per stream and the max
+// is reported.
+CarrierSenseResult carrier_sense(const std::vector<Samples>& streams,
+                                 std::size_t offset,
+                                 const Samples& preamble,
+                                 const CarrierSenseConfig& config);
+
+}  // namespace nplus::nulling

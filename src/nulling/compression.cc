@@ -1,0 +1,118 @@
+#include "nulling/compression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/decomp.h"
+#include "linalg/subspace.h"
+
+namespace nplus::nulling {
+
+namespace {
+
+using linalg::cdouble;
+
+// Unitary Procrustes: rotation Q minimizing ||u Q - target||_F.
+CMat procrustes_rotation(const CMat& u, const CMat& target) {
+  const CMat m = u.hermitian() * target;  // d x d
+  const linalg::Svd d = linalg::svd(m);
+  return d.u * d.v.hermitian();
+}
+
+// Signed-integer bit width needed to represent magnitude `maxq` (including
+// the sign bit). maxq == 0 -> 0 bits.
+std::size_t bits_for(long maxq) {
+  if (maxq <= 0) return 0;
+  std::size_t bits = 1;  // sign
+  while ((1L << (bits - 1)) <= maxq) ++bits;
+  return bits;
+}
+
+struct QuantizedMat {
+  CMat values;        // dequantized
+  std::size_t bits;   // payload bits: 4-bit width field + entries
+};
+
+// Quantizes every real scalar of `m` to the step grid; cost = 4-bit width
+// field + 2 * rows * cols * width bits.
+QuantizedMat quantize(const CMat& m, double step) {
+  QuantizedMat out;
+  out.values = CMat(m.rows(), m.cols());
+  long maxq = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const long qr = std::lround(m(r, c).real() / step);
+      const long qi = std::lround(m(r, c).imag() / step);
+      maxq = std::max({maxq, std::labs(qr), std::labs(qi)});
+      out.values(r, c) = cdouble{static_cast<double>(qr) * step,
+                                 static_cast<double>(qi) * step};
+    }
+  }
+  const std::size_t width = bits_for(maxq);
+  out.bits = 4 + 2 * m.rows() * m.cols() * width;
+  return out;
+}
+
+}  // namespace
+
+std::size_t symbols_needed(std::size_t bits, std::size_t n_dbps) {
+  return (bits + n_dbps - 1) / n_dbps;
+}
+
+CompressedAlignment compress_alignment(const std::vector<CMat>& bases,
+                                       const CompressionConfig& config) {
+  CompressedAlignment out;
+  out.reconstructed.assign(bases.size(), CMat{});
+
+  const CMat* prev_recon = nullptr;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const CMat& u = bases[i];
+    if (u.empty()) continue;  // DC / unused subcarrier
+
+    if (prev_recon == nullptr || prev_recon->rows() != u.rows() ||
+        prev_recon->cols() != u.cols()) {
+      // Base subcarrier: quantize the full basis.
+      const QuantizedMat q = quantize(u, config.step);
+      out.base_bits += q.bits;
+      out.reconstructed[i] = q.values;
+    } else {
+      // Differential subcarrier: rotate to match the previous
+      // reconstruction, then encode the (small) difference.
+      const CMat rot = procrustes_rotation(u, *prev_recon);
+      const CMat aligned = u * rot;
+      const CMat diff = aligned - *prev_recon;
+      const QuantizedMat q = quantize(diff, config.step);
+      out.diff_bits += q.bits;
+      out.reconstructed[i] = *prev_recon + q.values;
+    }
+    prev_recon = &out.reconstructed[i];
+  }
+  out.total_bits = out.base_bits + out.diff_bits;
+  return out;
+}
+
+std::size_t raw_alignment_bits(const std::vector<CMat>& bases,
+                               const CompressionConfig& config) {
+  std::size_t bits = 0;
+  for (const auto& u : bases) {
+    if (u.empty()) continue;
+    bits += quantize(u, config.step).bits;
+  }
+  return bits;
+}
+
+double max_reconstruction_angle(const std::vector<CMat>& original,
+                                const std::vector<CMat>& reconstructed) {
+  assert(original.size() == reconstructed.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i].empty() || reconstructed[i].empty()) continue;
+    // Orthonormalize the reconstruction before comparing subspaces.
+    const CMat basis = linalg::orthonormal_basis(reconstructed[i]);
+    worst = std::max(worst, linalg::principal_angle(original[i], basis));
+  }
+  return worst;
+}
+
+}  // namespace nplus::nulling

@@ -1,0 +1,66 @@
+// Differential compression of the alignment space (§3.5).
+//
+// A receiver that wants joiners to align inside its unwanted space must
+// broadcast that space for *each* OFDM subcarrier in its light-weight CTS
+// (the ACK header). Sent raw, 52 complex basis matrices would dwarf the
+// header. n+ exploits that channels — and therefore the alignment spaces —
+// vary smoothly across subcarriers: it sends the first subcarrier's space U
+// and then only the differences (U_i - U_{i-1}), which need far fewer bits.
+//
+// Implementation notes:
+//  * A subspace basis is unique only up to a unitary rotation; naive
+//    differences would be dominated by that arbitrary rotation. Each U_i is
+//    first aligned to the previously *reconstructed* basis by the unitary
+//    Procrustes rotation (closed-loop DPCM, so quantization error cannot
+//    accumulate).
+//  * Scalars are quantized on a uniform grid of step `step`; each subcarrier
+//    carries a 4-bit width field plus 2*N*d signed fixed-point values of
+//    that width, so flat channel stretches cost almost nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace nplus::nulling {
+
+using linalg::CMat;
+
+struct CompressionConfig {
+  // Quantization step for basis entries. 0.02 keeps the worst-case subspace
+  // angle error ~0.03 rad, i.e. residual alignment error below the -27 dB
+  // hardware limit it needs to respect.
+  double step = 0.02;
+};
+
+struct CompressedAlignment {
+  // Total payload bits on the air (width fields + values).
+  std::size_t total_bits = 0;
+  // Bits for the base (first) subcarrier vs the differential remainder.
+  std::size_t base_bits = 0;
+  std::size_t diff_bits = 0;
+  // Reconstructed bases (what the joiner will decode), per subcarrier.
+  std::vector<CMat> reconstructed;
+};
+
+// Compresses per-subcarrier alignment bases (each N x d with orthonormal
+// columns; `bases` indexed by logical subcarrier k+26, DC entry skipped via
+// empty matrices allowed). Returns the bit count and the reconstruction.
+CompressedAlignment compress_alignment(const std::vector<CMat>& bases,
+                                       const CompressionConfig& config = {});
+
+// Bits needed by the naive (non-differential) encoding at the same
+// quantization step — the baseline the §3.5 design is compared against.
+std::size_t raw_alignment_bits(const std::vector<CMat>& bases,
+                               const CompressionConfig& config = {});
+
+// OFDM symbols needed to carry `bits` at `n_dbps` data bits per symbol.
+std::size_t symbols_needed(std::size_t bits, std::size_t n_dbps);
+
+// Largest principal angle (radians) between original and reconstructed
+// bases — the quantization distortion metric.
+double max_reconstruction_angle(const std::vector<CMat>& original,
+                                const std::vector<CMat>& reconstructed);
+
+}  // namespace nplus::nulling

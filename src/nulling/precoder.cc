@@ -1,0 +1,132 @@
+#include "nulling/precoder.h"
+
+#include <cassert>
+
+#include "linalg/decomp.h"
+#include "linalg/subspace.h"
+
+namespace nplus::nulling {
+
+OngoingReceiver make_null_constraint(const CMat& channel) {
+  return OngoingReceiver{channel, CMat::identity(channel.rows())};
+}
+
+OngoingReceiver make_align_constraint(const CMat& channel,
+                                      const CMat& wanted_space) {
+  assert(wanted_space.cols() == channel.rows());
+  return OngoingReceiver{channel, wanted_space};
+}
+
+std::size_t max_join_streams(std::size_t n_antennas,
+                             std::size_t ongoing_streams) {
+  return n_antennas > ongoing_streams ? n_antennas - ongoing_streams : 0;
+}
+
+namespace {
+
+// Stacks every receiver's constraint rows: U^perp_j H_j, a (sum n_j) x M
+// matrix.
+CMat stack_constraints(std::size_t n_antennas,
+                       const std::vector<OngoingReceiver>& ongoing) {
+  CMat stacked(0, n_antennas);
+  for (const auto& rx : ongoing) {
+    assert(rx.channel.cols() == n_antennas);
+    const CMat rows = rx.wanted_space * rx.channel;  // n_j x M
+    stacked = stacked.vstack(rows);
+  }
+  return stacked;
+}
+
+// Normalizes each column of v to unit norm; returns false if any column is
+// numerically zero (degenerate solution).
+bool normalize_columns(CMat& v) {
+  for (std::size_t c = 0; c < v.cols(); ++c) {
+    const double n = v.col(c).norm();
+    if (n < 1e-12) return false;
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+      v(r, c) /= n;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<PrecoderResult> compute_join_precoder(
+    std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
+    std::size_t n_streams) {
+  const CMat constraints = stack_constraints(n_antennas, ongoing);
+  assert(constraints.rows() <= n_antennas);
+
+  // Null-space basis: every column satisfies all nulling/alignment rows.
+  const CMat ns = linalg::null_space(constraints);
+  if (ns.cols() < n_streams) {
+    // Constraint matrix was rank-deficient in an unlucky way or the caller
+    // asked for more streams than degrees of freedom permit.
+    if (constraints.rows() + n_streams > n_antennas) return std::nullopt;
+    // Rank deficiency *helps* (more free dimensions), fall through.
+  }
+  if (ns.cols() == 0 || n_streams == 0) return std::nullopt;
+
+  PrecoderResult result;
+  result.v = ns.block(0, ns.rows(), 0, std::min(n_streams, ns.cols()));
+  if (result.v.cols() < n_streams) return std::nullopt;
+  if (!normalize_columns(result.v)) return std::nullopt;
+  return result;
+}
+
+std::optional<PrecoderResult> compute_multi_rx_precoder(
+    std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
+    const std::vector<OwnReceiver>& own) {
+  // Count stream totals and validate Eq. 7's squareness: ongoing rows K plus
+  // own rows m must equal M.
+  std::size_t k_rows = 0;
+  for (const auto& rx : ongoing) k_rows += rx.constraint_rows();
+  std::size_t m_streams = 0;
+  for (const auto& rx : own) {
+    assert(rx.stream_ids.size() == rx.wanted_space.rows());
+    m_streams += rx.stream_ids.size();
+  }
+  // Eq. 7 is stated for the square case (K + m == M). When the transmitter
+  // holds antennas in reserve (K + m < M) the system is underdetermined and
+  // the minimum-norm solution (via pseudo-inverse) spends the least transmit
+  // power while meeting every constraint.
+  if (k_rows + m_streams > n_antennas || m_streams == 0) return std::nullopt;
+
+  // System matrix A (M x M): ongoing constraint rows on top, own-receiver
+  // rows below; right-hand side: zeros on top, stream-routing identity
+  // below (Eq. 7).
+  CMat a = stack_constraints(n_antennas, ongoing);
+  CMat rhs = CMat::zeros(k_rows, m_streams);
+  for (const auto& rx : own) {
+    assert(rx.channel.cols() == n_antennas);
+    const CMat rows = rx.wanted_space * rx.channel;  // n' x M
+    a = a.vstack(rows);
+    CMat sel = CMat::zeros(rows.rows(), m_streams);
+    for (std::size_t r = 0; r < rx.stream_ids.size(); ++r) {
+      assert(rx.stream_ids[r] < m_streams);
+      sel(r, rx.stream_ids[r]) = linalg::cdouble{1.0, 0.0};
+    }
+    rhs = rhs.vstack(sel);
+  }
+  assert(a.cols() == n_antennas);
+
+  PrecoderResult result;
+  if (a.rows() == a.cols()) {
+    const auto v = linalg::solve(a, rhs);
+    if (!v.has_value()) return std::nullopt;
+    result.v = *v;
+  } else {
+    result.v = linalg::pinv(a) * rhs;
+  }
+  if (!normalize_columns(result.v)) return std::nullopt;
+  return result;
+}
+
+double residual_interference(const OngoingReceiver& rx, const CVec& v) {
+  // Power that lands inside the receiver's wanted space.
+  const CVec leak = rx.wanted_space * (rx.channel * v);
+  return leak.norm_sq();
+}
+
+}  // namespace nplus::nulling

@@ -1,0 +1,94 @@
+// Interference nulling + alignment precoding — the paper's core contribution
+// (§2, §3.3, Claims 3.1-3.5).
+//
+// A transmitter tx with M antennas wants to join K ongoing streams. For each
+// receiver rx of an ongoing stream, tx must keep its signal out of rx's
+// *wanted* subspace:
+//   * if rx's wanted streams fill its whole antenna space (n = N), tx must
+//     NULL there:   H v_i = 0             (Claim 3.3, N rows of constraints);
+//   * otherwise tx ALIGNS inside rx's unwanted space U:
+//     U^perp H v_i = 0                    (Claim 3.4, n rows of constraints).
+// Claim 3.1 says choose alignment whenever an unwanted space exists (fewer
+// constraints). The total constraint rows equal K, so M - K linearly
+// independent precoding vectors exist: tx can send m = M - K streams
+// (Claim 3.2).
+//
+// With a single intended receiver the precoders are any basis of the null
+// space of the stacked constraint matrix. With multiple intended receivers
+// (Fig. 4: one AP sending distinct packets to several clients), tx must
+// additionally keep stream i out of the wanted space of its *other* clients;
+// Claim 3.5 / Eq. 7 stacks those rows with an identity right-hand side and
+// solves one M x M linear system.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.h"
+
+namespace nplus::nulling {
+
+using linalg::CMat;
+using linalg::CVec;
+
+// One receiver of an ongoing stream that tx must not disturb, on a single
+// OFDM subcarrier.
+struct OngoingReceiver {
+  // Channel from tx's M antennas to this receiver's N antennas (N x M).
+  // In the distributed protocol tx obtains this via reciprocity from the
+  // receiver's overheard CTS/ACK-header transmission.
+  CMat channel;
+  // U^perp: rows spanning the receiver's *wanted* space (n x N). For a
+  // fully-loaded receiver (n = N, nulling case) pass the N x N identity;
+  // for alignment the receiver advertises this in its light-weight CTS.
+  CMat wanted_space;
+
+  // Number of constraint rows this receiver contributes.
+  std::size_t constraint_rows() const { return wanted_space.rows(); }
+};
+
+// Convenience constructors for the two cases of Claim 3.1.
+OngoingReceiver make_null_constraint(const CMat& channel);
+OngoingReceiver make_align_constraint(const CMat& channel,
+                                      const CMat& wanted_space);
+
+// One of tx's own receivers on a subcarrier (multi-receiver transmissions).
+struct OwnReceiver {
+  CMat channel;        // N' x M
+  CMat wanted_space;   // n' x N' (rows; identity when fully loaded)
+  // Global stream indices destined to this receiver; size must equal
+  // wanted_space.rows() (one stream per wanted dimension).
+  std::vector<std::size_t> stream_ids;
+};
+
+// Result of the precoder computation on one subcarrier.
+struct PrecoderResult {
+  // M x m matrix; column i is stream i's precoding vector, normalized to
+  // unit transmit power per stream.
+  CMat v;
+};
+
+// Maximum concurrent streams tx can add: m = M - K (Claim 3.2).
+std::size_t max_join_streams(std::size_t n_antennas,
+                             std::size_t ongoing_streams);
+
+// Single-intended-receiver case: precoders = orthonormal basis of the null
+// space of the stacked constraints. `n_streams` must be
+// <= M - sum(constraint rows); returns nullopt if the constraints are
+// degenerate (rank-deficient channels).
+std::optional<PrecoderResult> compute_join_precoder(
+    std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
+    std::size_t n_streams);
+
+// General case of Claim 3.5 / Eq. 7 with multiple intended receivers; the
+// system matrix must come out square (sum of all constraint rows == M).
+std::optional<PrecoderResult> compute_multi_rx_precoder(
+    std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
+    const std::vector<OwnReceiver>& own);
+
+// Residual interference power delivered into rx's wanted space by precoder
+// column v (should be ~0 with perfect channel knowledge; nonzero under
+// estimation error — the quantity Fig. 11 studies).
+double residual_interference(const OngoingReceiver& rx, const CVec& v);
+
+}  // namespace nplus::nulling

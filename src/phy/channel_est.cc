@@ -1,0 +1,122 @@
+#include "phy/channel_est.h"
+
+#include <cassert>
+
+#include <map>
+#include <numbers>
+
+#include "dsp/fft.h"
+#include "linalg/decomp.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+
+namespace nplus::phy {
+
+ChannelEstimate estimate_from_ltf(const Samples& rx, std::size_t ltf_offset,
+                                  const OfdmParams& params) {
+  // LTF layout: [2*cp CP][symbol 1][symbol 2]; FFT windows start after the
+  // double CP. We reuse ofdm_demod_bins by pointing its (cp + fft) window
+  // such that the FFT section lands on each symbol: pass offset so that
+  // offset + cp == symbol start.
+  const std::size_t cp = params.scaled_cp();
+  const std::size_t n = params.scaled_fft();
+  const std::size_t sym1 = ltf_offset + 2 * cp;
+  const std::size_t sym2 = sym1 + n;
+  assert(sym2 + n <= rx.size());
+
+  // ofdm_demod_bins skips `cp` samples after the given offset and applies
+  // the data-symbol gain normalization; the LTF time signal was normalized
+  // to unit power in preamble.cc, matching the data-symbol normalization,
+  // but the gain factor differs: LTF uses 52 unit bins / unit-power time
+  // signal. Compute bins directly here instead for clarity.
+  auto bins_at = [&](std::size_t start) {
+    std::vector<cdouble> window(rx.begin() + static_cast<long>(start),
+                                rx.begin() + static_cast<long>(start + n));
+    nplus::dsp::fft_inplace(window);
+    return window;
+  };
+  const auto b1 = bins_at(sym1);
+  const auto b2 = bins_at(sym2);
+
+  // The time-domain LTF was normalized to unit mean power: for 52 unit bins
+  // the raw IFFT output has mean power 52/n^2, so the normalization factor
+  // is n/sqrt(52) and the FFT of the transmitted LTF returns L_k * n/sqrt(52)
+  // — the same net scale the data modulator applies. Divide it back out.
+  const double g = static_cast<double>(n) /
+                   std::sqrt(static_cast<double>(params.used_subcarriers()));
+
+  ChannelEstimate est;
+  const auto& lf = ltf_freq();
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const cdouble l = lf[static_cast<std::size_t>(k + 26)];
+    if (l == cdouble{0.0, 0.0}) continue;
+    const std::size_t bin = subcarrier_bin(k, n);
+    const cdouble avg = 0.5 * (b1[bin] + b2[bin]);
+    est.at(k) = avg / (l * g);
+  }
+  return est;
+}
+
+ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
+                               std::size_t n_taps, std::size_t fft_size) {
+  namespace la = nplus::linalg;
+  // DFT basis restricted to the used subcarriers: F(k_i, l) = e^{-j2pi k l/N}.
+  // The pseudo-inverse depends only on (n_taps, fft_size); cache it together
+  // with F. Single-threaded simulator, so a static cache is safe.
+  struct Basis {
+    la::CMat f;
+    la::CMat f_pinv;
+  };
+  static std::map<std::pair<std::size_t, std::size_t>, Basis> cache;
+  const auto key = std::make_pair(n_taps, fft_size);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::vector<int> used;
+    for (int k = -26; k <= 26; ++k) {
+      if (k != 0) used.push_back(k);
+    }
+    la::CMat f(used.size(), n_taps);
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      const auto bin = static_cast<double>(subcarrier_bin(used[i], fft_size));
+      for (std::size_t l = 0; l < n_taps; ++l) {
+        const double ang = -2.0 * std::numbers::pi * bin *
+                           static_cast<double>(l) /
+                           static_cast<double>(fft_size);
+        f(i, l) = cdouble{std::cos(ang), std::sin(ang)};
+      }
+    }
+    it = cache.emplace(key, Basis{f, la::pinv(f)}).first;
+  }
+
+  // h_taps = F^+ h_subcarriers; smoothed = F h_taps.
+  la::CVec obs(52);
+  std::size_t idx = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    obs[idx++] = est.at(k);
+  }
+  const la::CVec taps = it->second.f_pinv * obs;
+  const la::CVec smoothed = it->second.f * taps;
+
+  ChannelEstimate out;
+  idx = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    out.at(k) = smoothed[idx++];
+  }
+  return out;
+}
+
+double mean_channel_gain(const ChannelEstimate& est) {
+  double s = 0.0;
+  int count = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    s += std::norm(est.at(k));
+    ++count;
+  }
+  return count ? s / count : 0.0;
+}
+
+}  // namespace nplus::phy

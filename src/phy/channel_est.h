@@ -1,0 +1,49 @@
+// Least-squares OFDM channel estimation from the long training field.
+//
+// Given the demodulated LTF bins, the per-subcarrier channel is Y_k / L_k.
+// For MIMO, each spatial stream transmits its LTF in a separate time slot
+// (see preamble.h), so the same routine estimates the effective channel of
+// one stream at one receive antenna per call. Estimates at the two repeated
+// LTF symbols are averaged, halving estimation noise — this finite-SNR
+// estimation error is exactly what limits nulling depth in practice (§6.2).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "phy/ofdm_params.h"
+
+namespace nplus::phy {
+
+using cdouble = std::complex<double>;
+using Samples = std::vector<cdouble>;
+
+// Per-logical-subcarrier channel estimate, index k+26 for k in -26..26
+// (DC entry unused, left 0).
+struct ChannelEstimate {
+  std::vector<cdouble> h = std::vector<cdouble>(53, cdouble{0.0, 0.0});
+
+  cdouble at(int k) const { return h[static_cast<std::size_t>(k + 26)]; }
+  cdouble& at(int k) { return h[static_cast<std::size_t>(k + 26)]; }
+};
+
+// Estimates the channel from an LTF whose time-domain field starts at
+// `ltf_offset` in `rx` (i.e. the first sample of the double CP).
+ChannelEstimate estimate_from_ltf(const Samples& rx, std::size_t ltf_offset,
+                                  const OfdmParams& params = {});
+
+// Mean squared magnitude of the estimate over used subcarriers (channel
+// power gain; useful for SNR bookkeeping).
+double mean_channel_gain(const ChannelEstimate& est);
+
+// Tap-subspace smoothing (Edfors et al. [9] of the paper): the physical
+// channel has only `n_taps` degrees of freedom, so the 52 per-subcarrier LS
+// estimates are least-squares-projected onto the n_taps-dimensional DFT
+// subspace. This cuts estimation noise by ~10*log10(52/n_taps) dB (~11 dB
+// for 4 taps) and is what lets reciprocity-derived nulling reach the
+// paper's 25-27 dB cancellation depth.
+ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
+                               std::size_t n_taps = 4,
+                               std::size_t fft_size = 64);
+
+}  // namespace nplus::phy

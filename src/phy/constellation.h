@@ -1,0 +1,47 @@
+// Gray-coded constellation mapping/demapping for BPSK, QPSK (4-QAM),
+// 16-QAM and 64-QAM, normalized to unit average symbol energy as in
+// 802.11a (K_mod = 1, 1/sqrt(2), 1/sqrt(10), 1/sqrt(42)).
+//
+// Demapping offers hard decisions (nearest point) and per-bit max-log LLRs
+// for soft Viterbi decoding. LLR convention matches conv_code: positive LLR
+// means "bit = 0 more likely".
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "phy/scrambler.h"  // Bits
+
+namespace nplus::phy {
+
+using cdouble = std::complex<double>;
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+// Coded bits carried per subcarrier symbol (N_BPSC).
+std::size_t bits_per_symbol(Modulation m);
+
+const char* modulation_name(Modulation m);
+
+// Maps bits (length multiple of bits_per_symbol) to unit-energy symbols.
+std::vector<cdouble> map_bits(const Bits& bits, Modulation m);
+
+// Hard demap: nearest constellation point -> bits.
+Bits demap_hard(const std::vector<cdouble>& symbols, Modulation m);
+
+// Max-log LLRs given per-symbol noise variance. `noise_var[i]` is the
+// post-equalization noise variance of symbol i (a scalar per symbol because
+// zero-forcing whitens per subcarrier); pass 1.0 for metric-only use.
+std::vector<double> demap_soft(const std::vector<cdouble>& symbols,
+                               const std::vector<double>& noise_var,
+                               Modulation m);
+
+// Uncoded bit-error probability of modulation `m` at the given per-symbol
+// SNR (linear). Standard Gray-coded AWGN approximations; this is the kernel
+// of the effective-SNR (Halperin et al. [16]) bitrate metric in esnr.h.
+double ber_awgn(Modulation m, double snr_linear);
+
+// All constellation points in mapping order (index = Gray-coded bit word).
+const std::vector<cdouble>& constellation_points(Modulation m);
+
+}  // namespace nplus::phy

@@ -1,0 +1,225 @@
+#include "phy/conv_code.h"
+
+#include <array>
+#include <cassert>
+#include <limits>
+
+namespace nplus::phy {
+
+namespace {
+
+constexpr unsigned kG0 = 0133;  // octal, 7 taps
+constexpr unsigned kG1 = 0171;
+constexpr int kK = 7;
+constexpr int kStates = 1 << (kK - 1);  // 64
+
+// Parity of the lowest 7 bits.
+inline std::uint8_t parity7(unsigned x) {
+  x &= 0x7F;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return static_cast<std::uint8_t>(x & 1u);
+}
+
+// Puncturing patterns over the rate-1/2 output pairs (A = g0 bit, B = g1
+// bit). Pattern entries: true = transmitted, false = punctured.
+// Rate 2/3: period 2 input bits -> pairs A1 B1 A2 (B2 punctured).
+// Rate 3/4: period 3 input bits -> A1 B1 A2 B3 (B2, A3 punctured).
+struct Puncture {
+  std::vector<bool> pattern;  // over the serialized A,B stream
+  std::size_t in_period;      // input bits per period
+};
+
+const Puncture& puncture_for(CodeRate r) {
+  static const Puncture p12{{true, true}, 1};
+  static const Puncture p23{{true, true, true, false}, 2};
+  static const Puncture p34{{true, true, true, false, false, true}, 3};
+  switch (r) {
+    case CodeRate::kRate1_2:
+      return p12;
+    case CodeRate::kRate2_3:
+      return p23;
+    case CodeRate::kRate3_4:
+      return p34;
+  }
+  return p12;
+}
+
+}  // namespace
+
+int code_rate_num(CodeRate r) {
+  switch (r) {
+    case CodeRate::kRate1_2:
+      return 1;
+    case CodeRate::kRate2_3:
+      return 2;
+    case CodeRate::kRate3_4:
+      return 3;
+  }
+  return 1;
+}
+
+int code_rate_den(CodeRate r) {
+  switch (r) {
+    case CodeRate::kRate1_2:
+      return 2;
+    case CodeRate::kRate2_3:
+      return 3;
+    case CodeRate::kRate3_4:
+      return 4;
+  }
+  return 2;
+}
+
+double code_rate_value(CodeRate r) {
+  return static_cast<double>(code_rate_num(r)) / code_rate_den(r);
+}
+
+std::size_t coded_length(std::size_t n_in, CodeRate rate) {
+  const auto& p = puncture_for(rate);
+  // Mother-code output length 2*n_in, walked against the puncture pattern.
+  std::size_t kept = 0;
+  const std::size_t pattern_len = p.pattern.size();
+  const std::size_t total = 2 * n_in;
+  const std::size_t full = total / pattern_len;
+  std::size_t kept_per_period = 0;
+  for (bool b : p.pattern) kept_per_period += b ? 1u : 0u;
+  kept = full * kept_per_period;
+  for (std::size_t i = full * pattern_len; i < total; ++i) {
+    if (p.pattern[i % pattern_len]) ++kept;
+  }
+  return kept;
+}
+
+Bits conv_encode(const Bits& data, CodeRate rate) {
+  const auto& p = puncture_for(rate);
+  Bits out;
+  out.reserve(coded_length(data.size(), rate));
+  unsigned state = 0;  // most recent bit in the LSB of the shifted-in side
+  std::size_t mother_idx = 0;
+  for (std::uint8_t bit : data) {
+    const unsigned reg = (static_cast<unsigned>(bit & 1u) << 6) | state;
+    const std::uint8_t a = parity7(reg & kG0);
+    const std::uint8_t b = parity7(reg & kG1);
+    if (p.pattern[mother_idx % p.pattern.size()]) out.push_back(a);
+    ++mother_idx;
+    if (p.pattern[mother_idx % p.pattern.size()]) out.push_back(b);
+    ++mother_idx;
+    state = reg >> 1;
+  }
+  return out;
+}
+
+namespace {
+
+// Depunctures a soft stream (LLRs) back to the full-rate 2*n_out-pair stream,
+// inserting 0 (erasure) at punctured positions.
+std::vector<double> depuncture(const std::vector<double>& in, std::size_t n_in,
+                               CodeRate rate) {
+  const auto& p = puncture_for(rate);
+  std::vector<double> out(2 * n_in, 0.0);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (p.pattern[i % p.pattern.size()]) {
+      if (src < in.size()) out[i] = in[src++];
+    }
+  }
+  return out;
+}
+
+Bits viterbi_core(const std::vector<double>& llr_full, std::size_t n_out) {
+  // llr_full has 2 entries (A, B) per input bit; llr > 0 favors bit value 0.
+  assert(llr_full.size() >= 2 * n_out);
+
+  struct Trans {
+    int next;
+    double metric0;  // metric contribution if output bits were (a, b)
+  };
+
+  // Precompute per-state outputs for input 0 and 1.
+  static std::array<std::array<std::uint8_t, 2>, kStates * 2> outputs = [] {
+    std::array<std::array<std::uint8_t, 2>, kStates * 2> o{};
+    for (int s = 0; s < kStates; ++s) {
+      for (int in = 0; in < 2; ++in) {
+        const unsigned reg =
+            (static_cast<unsigned>(in) << 6) | static_cast<unsigned>(s);
+        o[static_cast<std::size_t>(s * 2 + in)] = {parity7(reg & kG0),
+                                                   parity7(reg & kG1)};
+      }
+    }
+    return o;
+  }();
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(kStates, kNegInf);
+  metric[0] = 0.0;  // encoder starts in state 0
+  std::vector<double> next_metric(kStates);
+  // Survivor table: predecessor-input packed decisions.
+  std::vector<std::uint8_t> decisions(n_out * kStates);
+
+  for (std::size_t t = 0; t < n_out; ++t) {
+    const double la = llr_full[2 * t];
+    const double lb = llr_full[2 * t + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    std::uint8_t* dec = &decisions[t * kStates];
+    for (int s = 0; s < kStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (int in = 0; in < 2; ++in) {
+        const auto& ob = outputs[static_cast<std::size_t>(s * 2 + in)];
+        // Correlation metric: +llr if the coded bit is 0, -llr if it is 1.
+        const double m = metric[s] + (ob[0] ? -la : la) + (ob[1] ? -lb : lb);
+        const unsigned reg =
+            (static_cast<unsigned>(in) << 6) | static_cast<unsigned>(s);
+        const int next = static_cast<int>(reg >> 1);
+        if (m > next_metric[next]) {
+          next_metric[next] = m;
+          // Record the predecessor state's low 6 bits + input bit; the
+          // predecessor is recoverable as ((next << 1) | dropped_bit) & 0x3F,
+          // so we only need to store the dropped bit and the input bit.
+          dec[next] = static_cast<std::uint8_t>(((s & 1) << 1) | in);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Trace back from the best end state (frames are tail-terminated to state
+  // 0 by frame.cc, but be robust to untailed use).
+  int state = 0;
+  double best = metric[0];
+  for (int s = 1; s < kStates; ++s) {
+    if (metric[s] > best) {
+      best = metric[s];
+      state = s;
+    }
+  }
+
+  Bits out(n_out);
+  for (std::size_t t = n_out; t-- > 0;) {
+    const std::uint8_t d = decisions[t * kStates + state];
+    const std::uint8_t in = d & 1u;
+    const std::uint8_t dropped = (d >> 1) & 1u;
+    out[t] = in;
+    state = ((state << 1) | dropped) & (kStates - 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Bits viterbi_decode(const Bits& coded, std::size_t n_out, CodeRate rate) {
+  std::vector<double> llr(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llr[i] = coded[i] ? -1.0 : 1.0;
+  }
+  return viterbi_decode_soft(llr, n_out, rate);
+}
+
+Bits viterbi_decode_soft(const std::vector<double>& llr, std::size_t n_out,
+                         CodeRate rate) {
+  const std::vector<double> full = depuncture(llr, n_out, rate);
+  return viterbi_core(full, n_out);
+}
+
+}  // namespace nplus::phy

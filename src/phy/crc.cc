@@ -1,0 +1,59 @@
+#include "phy/crc.h"
+
+#include <array>
+
+namespace nplus::phy {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint8_t c = static_cast<std::uint8_t>(i);
+    for (int k = 0; k < 8; ++k) {
+      c = static_cast<std::uint8_t>((c & 0x80u) ? (c << 1) ^ 0x07u : (c << 1));
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  static const auto table = make_crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+  return crc32(data.data(), data.size());
+}
+
+std::uint8_t crc8(const std::uint8_t* data, std::size_t len) {
+  static const auto table = make_crc8_table();
+  std::uint8_t c = 0;
+  for (std::size_t i = 0; i < len; ++i) c = table[c ^ data[i]];
+  return c;
+}
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& data) {
+  return crc8(data.data(), data.size());
+}
+
+}  // namespace nplus::phy

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial) as used for the 802.11 FCS, plus the CRC-8
+// used for the separate light-weight-handshake header checksum (§3.5: the
+// split header carries "a per header checksum").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nplus::phy {
+
+// Standard reflected CRC-32 (poly 0x04C11DB7), init 0xFFFFFFFF, final XOR
+// 0xFFFFFFFF — identical to the 802.11 FCS computation.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+std::uint32_t crc32(const std::vector<std::uint8_t>& data);
+
+// CRC-8 with polynomial 0x07 (ATM HEC style), for the split packet header.
+std::uint8_t crc8(const std::uint8_t* data, std::size_t len);
+std::uint8_t crc8(const std::vector<std::uint8_t>& data);
+
+}  // namespace nplus::phy

@@ -1,0 +1,70 @@
+#include "phy/esnr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.h"
+
+namespace nplus::phy {
+
+double inverse_ber(Modulation m, double target_ber) {
+  // ber_awgn is monotonically decreasing in SNR. Bracket then bisect.
+  if (target_ber >= 0.5) return 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  while (ber_awgn(m, hi) > target_ber && hi < 1e12) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ber_awgn(m, mid) > target_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-9 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double effective_snr(const std::vector<double>& subcarrier_snr_linear,
+                     Modulation m) {
+  if (subcarrier_snr_linear.empty()) return 0.0;
+  double mean_ber = 0.0;
+  for (double snr : subcarrier_snr_linear) {
+    mean_ber += ber_awgn(m, std::max(snr, 0.0));
+  }
+  mean_ber /= static_cast<double>(subcarrier_snr_linear.size());
+  // Clamp: at vanishing BER, the inverse is numerically unbounded; cap the
+  // effective SNR at the best subcarrier's SNR (it can never exceed it...
+  // strictly it can't exceed the max since BER is convex in that regime).
+  if (mean_ber < 1e-12) {
+    return *std::max_element(subcarrier_snr_linear.begin(),
+                             subcarrier_snr_linear.end());
+  }
+  return inverse_ber(m, mean_ber);
+}
+
+double effective_snr_db(const std::vector<double>& subcarrier_snr_db,
+                        Modulation m) {
+  std::vector<double> lin(subcarrier_snr_db.size());
+  for (std::size_t i = 0; i < lin.size(); ++i) {
+    lin[i] = util::from_db(subcarrier_snr_db[i]);
+  }
+  return util::to_db(std::max(effective_snr(lin, m), 1e-30));
+}
+
+const Mcs* select_mcs_esnr(const std::vector<double>& subcarrier_snr_linear,
+                           double margin_db) {
+  const Mcs* best = nullptr;
+  for (const auto& mcs : mcs_table()) {
+    const double esnr = effective_snr(subcarrier_snr_linear, mcs.modulation);
+    const double esnr_db = util::to_db(std::max(esnr, 1e-30));
+    if (esnr_db >= mcs.min_esnr_db + margin_db) {
+      if (best == nullptr || mcs.bitrate_mbps > best->bitrate_mbps) {
+        best = &mcs;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace nplus::phy

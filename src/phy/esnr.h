@@ -1,0 +1,43 @@
+// Effective SNR (Halperin et al., SIGCOMM 2010), the metric n+ uses for
+// per-packet bitrate selection (§3.4).
+//
+// Frequency-selective fading makes the plain average SNR a poor predictor of
+// delivery: one faded subcarrier can dominate the error rate. Effective SNR
+// fixes this by mapping per-subcarrier SNRs through the modulation's BER
+// curve, averaging in *BER domain*, and mapping back:
+//
+//     ESNR_m = BER_m^{-1}( mean_k BER_m(snr_k) )
+//
+// ESNR is modulation-specific; rate selection evaluates each candidate MCS
+// with its own modulation and picks the fastest one whose ESNR clears the
+// table threshold.
+#pragma once
+
+#include <vector>
+
+#include "phy/constellation.h"
+#include "phy/mcs.h"
+
+namespace nplus::phy {
+
+// Effective SNR (linear in/out) for modulation `m` over per-subcarrier
+// linear SNRs. Empty input yields 0.
+double effective_snr(const std::vector<double>& subcarrier_snr_linear,
+                     Modulation m);
+
+// Same but with dB in/out convenience.
+double effective_snr_db(const std::vector<double>& subcarrier_snr_db,
+                        Modulation m);
+
+// Inverts ber_awgn(m, snr) = target via bisection on snr (linear).
+double inverse_ber(Modulation m, double target_ber);
+
+// Per-packet rate selection: evaluates every MCS against the per-subcarrier
+// SNRs (using that MCS's own modulation for the ESNR mapping) and returns
+// the highest-rate MCS whose ESNR clears its threshold plus `margin_db`;
+// nullptr if none. The margin absorbs the residual nulling/alignment error
+// later joiners may add after the rate is locked in (§3.4/§6.2: ~1 dB).
+const Mcs* select_mcs_esnr(const std::vector<double>& subcarrier_snr_linear,
+                           double margin_db = 0.0);
+
+}  // namespace nplus::phy

@@ -1,0 +1,31 @@
+// 802.11a block interleaver.
+//
+// Operates on one OFDM symbol's worth of coded bits (N_CBPS). Two
+// permutations: the first spreads adjacent coded bits across nonadjacent
+// subcarriers; the second alternates them across constellation bit
+// significance so long runs of low-reliability bits are broken up.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "phy/scrambler.h"  // Bits
+
+namespace nplus::phy {
+
+// Permutation for one symbol: returns `to[i] = j`, meaning input bit i goes
+// to output position j. n_cbps = coded bits per symbol, n_bpsc = coded bits
+// per subcarrier (1 BPSK, 2 QPSK, 4 16-QAM, 6 64-QAM).
+std::vector<std::size_t> interleave_map(std::size_t n_cbps,
+                                        std::size_t n_bpsc);
+
+// Interleaves a whole stream symbol-by-symbol (length must be a multiple of
+// n_cbps).
+Bits interleave(const Bits& in, std::size_t n_cbps, std::size_t n_bpsc);
+Bits deinterleave(const Bits& in, std::size_t n_cbps, std::size_t n_bpsc);
+
+// Soft (LLR) deinterleaver for the soft Viterbi path.
+std::vector<double> deinterleave_soft(const std::vector<double>& in,
+                                      std::size_t n_cbps, std::size_t n_bpsc);
+
+}  // namespace nplus::phy

@@ -1,0 +1,58 @@
+// Modulation-and-coding schemes for the 10 MHz (half-clocked 802.11a) PHY
+// used by the paper's USRP2 prototype, and the ESNR -> bitrate table used by
+// n+'s per-packet rate selection (§3.4, following Halperin et al. [16]).
+//
+// Rates are the 802.11a set halved (3..27 Mb/s per stream at 10 MHz); the
+// paper quotes "1500-byte packet transmitted at 18 Mb/s", which is the
+// 16-QAM 3/4 entry of this table.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "phy/constellation.h"
+#include "phy/conv_code.h"
+#include "phy/ofdm_params.h"
+
+namespace nplus::phy {
+
+struct Mcs {
+  int index;
+  Modulation modulation;
+  CodeRate code_rate;
+  // Coded bits per OFDM symbol (all 48 data subcarriers, one stream).
+  std::size_t n_cbps;
+  // Data bits per OFDM symbol.
+  std::size_t n_dbps;
+  // Nominal PHY bitrate at 10 MHz in Mb/s (per spatial stream).
+  double bitrate_mbps;
+  // Minimum effective SNR (dB) at which this MCS sustains ~90% delivery of
+  // a 1500-byte frame (the rate-selection threshold).
+  double min_esnr_db;
+
+  std::string name() const;
+};
+
+// The 8-entry rate table (BPSK 1/2 ... 64-QAM 3/4).
+const std::vector<Mcs>& mcs_table();
+
+// Table lookup by index; asserts on out-of-range.
+const Mcs& mcs_by_index(int index);
+
+// Highest-rate MCS whose threshold is <= esnr_db; nullptr if even the
+// lowest rate cannot be sustained (the node should not transmit).
+const Mcs* select_mcs(double esnr_db);
+
+// Packet error probability for a frame of `bytes` at the given effective
+// SNR. Smooth threshold model calibrated so PER(min_esnr_db) ~ 0.1 for
+// 1500-byte frames: steep logistic in dB, with length scaling
+// PER(L) = 1 - (1 - PER_1500)^(L/1500).
+double packet_error_rate(const Mcs& mcs, double esnr_db, std::size_t bytes);
+
+// Airtime of a frame: preamble+header symbols are accounted by the caller;
+// this is just ceil(8*bytes + 16 service + 6 tail / n_dbps) data symbols.
+std::size_t n_data_symbols(const Mcs& mcs, std::size_t bytes,
+                           std::size_t n_streams = 1);
+
+}  // namespace nplus::phy

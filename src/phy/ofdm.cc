@@ -1,0 +1,139 @@
+#include "phy/ofdm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace nplus::phy {
+
+double pilot_polarity(std::size_t symbol_index) {
+  // 802.11a 17.3.5.9 pilot polarity: output of the x^7+x^4+1 LFSR seeded
+  // with all ones, mapped 1 -> -1, 0 -> +1, cyclic with period 127.
+  static const std::vector<double> seq = [] {
+    std::vector<double> s;
+    s.reserve(127);
+    unsigned state = 0x7F;
+    for (int i = 0; i < 127; ++i) {
+      const unsigned fb = ((state >> 6) ^ (state >> 3)) & 1u;
+      state = ((state << 1) | fb) & 0x7F;
+      s.push_back(fb ? -1.0 : 1.0);
+    }
+    return s;
+  }();
+  return seq[symbol_index % 127];
+}
+
+const std::vector<double>& pilot_pattern() {
+  static const std::vector<double> p = {1.0, 1.0, 1.0, -1.0};
+  return p;
+}
+
+Samples ofdm_modulate_symbol(const std::vector<cdouble>& data48,
+                             std::size_t symbol_index,
+                             const OfdmParams& params) {
+  assert(data48.size() == params.n_data_subcarriers);
+  const std::size_t n = params.scaled_fft();
+  std::vector<cdouble> bins(n, cdouble{0.0, 0.0});
+
+  static const auto data_sc = data_subcarriers();
+  for (std::size_t i = 0; i < data48.size(); ++i) {
+    bins[subcarrier_bin(data_sc[i], n)] = data48[i];
+  }
+  const double pol = pilot_polarity(symbol_index);
+  const auto& pp = pilot_pattern();
+  for (std::size_t i = 0; i < kPilotSubcarriers.size(); ++i) {
+    bins[subcarrier_bin(kPilotSubcarriers[i], n)] =
+        cdouble{pol * pp[i], 0.0};
+  }
+
+  Samples time = nplus::dsp::ifft(bins);
+  // Scale so average transmit power equals the average data-symbol power:
+  // IFFT of 52 unit-power bins over n samples has power 52/n^2 * n... we
+  // normalize to mean power ~= 1 across the symbol for convenience.
+  const double g = std::sqrt(static_cast<double>(n) /
+                             static_cast<double>(params.used_subcarriers()));
+  for (auto& v : time) v *= g * std::sqrt(static_cast<double>(n));
+
+  // Prepend CP.
+  const std::size_t cp = params.scaled_cp();
+  Samples out;
+  out.reserve(cp + n);
+  out.insert(out.end(), time.end() - static_cast<long>(cp), time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+Samples ofdm_modulate(const std::vector<cdouble>& data,
+                      std::size_t first_symbol_index,
+                      const OfdmParams& params) {
+  assert(data.size() % params.n_data_subcarriers == 0);
+  const std::size_t n_sym = data.size() / params.n_data_subcarriers;
+  Samples out;
+  out.reserve(n_sym * params.symbol_len());
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::vector<cdouble> chunk(
+        data.begin() + static_cast<long>(s * params.n_data_subcarriers),
+        data.begin() + static_cast<long>((s + 1) * params.n_data_subcarriers));
+    const Samples sym =
+        ofdm_modulate_symbol(chunk, first_symbol_index + s, params);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  return out;
+}
+
+std::vector<cdouble> ofdm_demod_bins(const Samples& rx, std::size_t offset,
+                                     const OfdmParams& params) {
+  const std::size_t n = params.scaled_fft();
+  const std::size_t cp = params.scaled_cp();
+  assert(offset + cp + n <= rx.size());
+  std::vector<cdouble> window(rx.begin() + static_cast<long>(offset + cp),
+                              rx.begin() + static_cast<long>(offset + cp + n));
+  nplus::dsp::fft_inplace(window);
+  // Undo the modulator scaling so a flat unit channel returns the original
+  // constellation points.
+  const double g = 1.0 / (std::sqrt(static_cast<double>(n) /
+                                    static_cast<double>(
+                                        params.used_subcarriers())) *
+                          std::sqrt(static_cast<double>(n)));
+  for (auto& v : window) v *= g;
+  return window;
+}
+
+std::vector<cdouble> extract_data(const std::vector<cdouble>& bins,
+                                  const OfdmParams& params) {
+  static const auto data_sc = data_subcarriers();
+  std::vector<cdouble> out(params.n_data_subcarriers);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bins[subcarrier_bin(data_sc[i], params.scaled_fft())];
+  }
+  return out;
+}
+
+std::vector<cdouble> extract_pilots(const std::vector<cdouble>& bins,
+                                    const OfdmParams& params) {
+  std::vector<cdouble> out(kPilotSubcarriers.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bins[subcarrier_bin(kPilotSubcarriers[i], params.scaled_fft())];
+  }
+  return out;
+}
+
+cdouble pilot_phase_correction(const std::vector<cdouble>& pilots_rx,
+                               const std::vector<cdouble>& pilot_channels,
+                               std::size_t symbol_index) {
+  assert(pilots_rx.size() == pilot_channels.size());
+  const double pol = pilot_polarity(symbol_index);
+  const auto& pp = pilot_pattern();
+  cdouble acc{0.0, 0.0};
+  for (std::size_t i = 0; i < pilots_rx.size(); ++i) {
+    const cdouble expected = pilot_channels[i] * cdouble{pol * pp[i], 0.0};
+    acc += pilots_rx[i] * std::conj(expected);
+  }
+  const double mag = std::abs(acc);
+  if (mag <= 0.0) return {1.0, 0.0};
+  // Return the conjugate rotation that undoes the common phase drift.
+  return std::conj(acc / mag);
+}
+
+}  // namespace nplus::phy

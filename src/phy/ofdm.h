@@ -1,0 +1,63 @@
+// OFDM symbol modulation / demodulation on the 802.11 64-point grid.
+//
+// The modulator places 48 data symbols plus 4 BPSK pilots on the used
+// subcarriers, IFFTs, and prepends the cyclic prefix; the demodulator undoes
+// that and also exposes the raw frequency bins (the per-subcarrier receive
+// vectors on which all of n+'s nulling/alignment/projection math operates —
+// §4 "Multipath": each OFDM subcarrier is treated as an independent
+// narrowband channel).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "phy/ofdm_params.h"
+
+namespace nplus::phy {
+
+using cdouble = std::complex<double>;
+using Samples = std::vector<cdouble>;
+
+// Pilot polarity sequence p_0..p_126 from the 802.11a scrambler LFSR; the
+// pilots of data symbol n are multiplied by polarity(n).
+double pilot_polarity(std::size_t symbol_index);
+
+// Pilot base values on subcarriers {-21, -7, 7, 21} (the k=21 pilot is
+// inverted per the standard).
+const std::vector<double>& pilot_pattern();
+
+// Modulates one OFDM symbol: 48 data values -> symbol_len() time samples
+// (CP included). `symbol_index` selects pilot polarity.
+Samples ofdm_modulate_symbol(const std::vector<cdouble>& data48,
+                             std::size_t symbol_index,
+                             const OfdmParams& params = {});
+
+// Modulates a stream of symbols back-to-back (data.size() % 48 == 0).
+Samples ofdm_modulate(const std::vector<cdouble>& data,
+                      std::size_t first_symbol_index = 0,
+                      const OfdmParams& params = {});
+
+// Demodulates one symbol starting at `offset` in `rx`: strips CP, FFTs.
+// Returns all scaled_fft() bins (FFT order). Callers pick out used bins via
+// subcarrier_bin().
+std::vector<cdouble> ofdm_demod_bins(const Samples& rx, std::size_t offset,
+                                     const OfdmParams& params = {});
+
+// Extracts the 48 data-subcarrier values from a bin vector, in the same
+// order used by ofdm_modulate_symbol.
+std::vector<cdouble> extract_data(const std::vector<cdouble>& bins,
+                                  const OfdmParams& params = {});
+
+// Extracts the 4 pilot values (order: k = -21, -7, 7, 21).
+std::vector<cdouble> extract_pilots(const std::vector<cdouble>& bins,
+                                    const OfdmParams& params = {});
+
+// Estimates the common residual phase of a demodulated symbol from its
+// pilots given per-subcarrier channel estimates at the pilot positions
+// (order must match extract_pilots), and the symbol index. Returns the
+// unit-magnitude correction factor to multiply data bins by.
+cdouble pilot_phase_correction(const std::vector<cdouble>& pilots_rx,
+                               const std::vector<cdouble>& pilot_channels,
+                               std::size_t symbol_index);
+
+}  // namespace nplus::phy

@@ -1,0 +1,79 @@
+// OFDM numerology for the n+ PHY.
+//
+// The paper's prototype runs the 802.11a/g OFDM structure on USRP2 radios
+// over a 10 MHz channel — i.e. the standard 64-point OFDM grid clocked at
+// half speed ("half-clocked" 802.11a, as in 802.11p). We adopt exactly that:
+// all counts (subcarriers, pilots, preamble structure) match 802.11a; all
+// durations are doubled relative to 20 MHz operation.
+//
+// §4 of the paper additionally scales the cyclic prefix and FFT size by a
+// common factor to give distributed transmitters timing slack; cp_scale
+// implements that knob (cp_scale = 2 doubles both FFT and CP lengths).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace nplus::phy {
+
+struct OfdmParams {
+  // Core 802.11 OFDM grid.
+  std::size_t fft_size = 64;
+  std::size_t cp_len = 16;
+  std::size_t n_data_subcarriers = 48;
+  std::size_t n_pilot_subcarriers = 4;
+
+  // Sample rate: USRP2 testbed channel width (§5).
+  double sample_rate_hz = 10e6;
+
+  // §4 "Time Synchronization": both CP and FFT scaled by the same factor so
+  // the CP *fraction* (and hence overhead) is unchanged.
+  std::size_t cp_scale = 1;
+
+  std::size_t scaled_fft() const { return fft_size * cp_scale; }
+  std::size_t scaled_cp() const { return cp_len * cp_scale; }
+  std::size_t symbol_len() const { return scaled_fft() + scaled_cp(); }
+  double symbol_duration_s() const {
+    return static_cast<double>(symbol_len()) / sample_rate_hz;
+  }
+  std::size_t used_subcarriers() const {
+    return n_data_subcarriers + n_pilot_subcarriers;
+  }
+};
+
+// 802.11a data-subcarrier logical indices (k = -26..-1, 1..26 minus pilots),
+// expressed as FFT bin numbers (negative k wraps to fft_size + k).
+// Pilot subcarriers sit at k = -21, -7, 7, 21.
+inline constexpr std::array<int, 4> kPilotSubcarriers = {-21, -7, 7, 21};
+
+// Returns the 48 data subcarrier logical indices in increasing k order.
+std::array<int, 48> data_subcarriers();
+
+// Maps logical subcarrier index k (-26..26, k != 0) to FFT bin.
+constexpr std::size_t subcarrier_bin(int k, std::size_t fft_size = 64) {
+  return k >= 0 ? static_cast<std::size_t>(k)
+                : fft_size - static_cast<std::size_t>(-k);
+}
+
+// 802.11 MAC timing at 10 MHz (half-clocked 802.11a, like 802.11p):
+// all interframe timings double relative to the 20 MHz values.
+struct MacTiming {
+  double slot_s = 13e-6;    // 2 x 802.11a slot (9 us)
+  double sifs_s = 32e-6;    // 2 x 802.11a SIFS (16 us)
+  double difs_s = 58e-6;    // SIFS + 2 * slot
+  int cw_min = 15;
+  int cw_max = 1023;
+};
+
+inline std::array<int, 48> data_subcarriers() {
+  std::array<int, 48> out{};
+  std::size_t idx = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    if (k == -21 || k == -7 || k == 7 || k == 21) continue;
+    out[idx++] = k;
+  }
+  return out;
+}
+
+}  // namespace nplus::phy

@@ -1,0 +1,121 @@
+#include "phy/preamble.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace nplus::phy {
+
+namespace {
+
+// Builds the time-domain signal for one OFDM period from logical-subcarrier
+// values (index k+26 for k in -26..26), without CP.
+Samples freq_to_time_64(const std::vector<cdouble>& logical,
+                        const OfdmParams& params) {
+  std::vector<cdouble> bins(params.scaled_fft(), cdouble{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    bins[subcarrier_bin(k, params.scaled_fft())] =
+        logical[static_cast<std::size_t>(k + 26)];
+  }
+  Samples time = nplus::dsp::ifft(bins);
+  // Normalize to unit average power over the used samples so preamble and
+  // data symbols have comparable power.
+  double p = 0.0;
+  for (const auto& v : time) p += std::norm(v);
+  p /= static_cast<double>(time.size());
+  if (p > 0.0) {
+    const double g = 1.0 / std::sqrt(p);
+    for (auto& v : time) v *= g;
+  }
+  return time;
+}
+
+}  // namespace
+
+const std::vector<cdouble>& stf_freq() {
+  static const std::vector<cdouble> seq = [] {
+    std::vector<cdouble> s(53, cdouble{0.0, 0.0});
+    const double a = std::sqrt(13.0 / 6.0);
+    const cdouble pj = a * cdouble{1.0, 1.0};
+    const cdouble nj = a * cdouble{-1.0, -1.0};
+    // 802.11a-1999 17.3.3: nonzero entries at k = -24..24 step 4.
+    auto set = [&s](int k, cdouble v) {
+      s[static_cast<std::size_t>(k + 26)] = v;
+    };
+    set(-24, pj);
+    set(-20, nj);
+    set(-16, pj);
+    set(-12, nj);
+    set(-8, nj);
+    set(-4, pj);
+    set(4, nj);
+    set(8, nj);
+    set(12, pj);
+    set(16, pj);
+    set(20, pj);
+    set(24, pj);
+    return s;
+  }();
+  return seq;
+}
+
+const std::vector<cdouble>& ltf_freq() {
+  static const std::vector<cdouble> seq = [] {
+    // 802.11a-1999 17.3.3 long training sequence, k = -26..26.
+    static const int L[53] = {
+        1, 1, -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1, 1, -1, -1, 1,
+        1, -1, 1, -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1, -1, 1,  -1, 1,
+        -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1, 1,  1,  1};
+    std::vector<cdouble> s(53);
+    for (int i = 0; i < 53; ++i) {
+      s[static_cast<std::size_t>(i)] = cdouble{static_cast<double>(L[i]), 0.0};
+    }
+    return s;
+  }();
+  return seq;
+}
+
+Samples short_symbol(const OfdmParams& params) {
+  // The STF spectrum is periodic with period fft/4 in time; one short symbol
+  // is the first fft/4 samples.
+  const Samples full = freq_to_time_64(stf_freq(), params);
+  const std::size_t len = params.scaled_fft() / 4;
+  return Samples(full.begin(), full.begin() + static_cast<long>(len));
+}
+
+Samples stf_time(const OfdmParams& params) {
+  const Samples one = short_symbol(params);
+  Samples out;
+  out.reserve(one.size() * 10);
+  for (int rep = 0; rep < 10; ++rep) {
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+Samples ltf_time(const OfdmParams& params) {
+  const Samples sym = freq_to_time_64(ltf_freq(), params);
+  const std::size_t n = sym.size();
+  const std::size_t cp2 = 2 * params.scaled_cp();
+  Samples out;
+  out.reserve(cp2 + 2 * n);
+  // Double-length CP = last 2*cp samples of the symbol.
+  out.insert(out.end(), sym.end() - static_cast<long>(cp2), sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  return out;
+}
+
+Samples preamble_time(const OfdmParams& params) {
+  Samples out = stf_time(params);
+  const Samples ltf = ltf_time(params);
+  out.insert(out.end(), ltf.begin(), ltf.end());
+  return out;
+}
+
+std::size_t mimo_ltf_len(std::size_t n_streams, const OfdmParams& params) {
+  return n_streams * ltf_time(params).size();
+}
+
+}  // namespace nplus::phy

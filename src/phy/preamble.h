@@ -1,0 +1,49 @@
+// 802.11a PLCP preamble: short training field (STF) and long training field
+// (LTF), plus the per-stream MIMO LTF extension n+ needs.
+//
+// The STF is a 16-sample sequence repeated 10x (160 samples) used for packet
+// detection, AGC, and coarse CFO. 802.11's carrier-sense cross-correlator
+// operates on these 10 short symbols (§6.1 of the paper). The LTF is two
+// 64-sample symbols behind a double-length CP (160 samples total) used for
+// channel estimation and fine CFO.
+//
+// For multi-stream transmissions, each spatial stream sends the LTF in its
+// own time slot (others silent), so any receiver can estimate the *effective*
+// (post-precoding) channel per stream — this is why rx2 in the paper "does
+// not need to know alpha": the joiner's preamble is precoded exactly like
+// its data (§2, footnote 1).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "phy/ofdm_params.h"
+
+namespace nplus::phy {
+
+using cdouble = std::complex<double>;
+using Samples = std::vector<cdouble>;
+
+// Frequency-domain STF values on logical subcarriers -26..26 (53 entries,
+// index k + 26); nonzero only at multiples of 4.
+const std::vector<cdouble>& stf_freq();
+
+// Frequency-domain LTF values (+/-1) on logical subcarriers -26..26.
+const std::vector<cdouble>& ltf_freq();
+
+// Time-domain fields (at cp_scale = 1: 160 samples each).
+Samples stf_time(const OfdmParams& params = {});
+Samples ltf_time(const OfdmParams& params = {});
+
+// One 16-sample short symbol (the cross-correlation template; the paper
+// correlates over 10 of these).
+Samples short_symbol(const OfdmParams& params = {});
+
+// Full single-stream preamble: STF followed by LTF.
+Samples preamble_time(const OfdmParams& params = {});
+
+// Number of samples in the per-stream LTF slot section for `n_streams`
+// (one LTF per stream, sequential in time).
+std::size_t mimo_ltf_len(std::size_t n_streams, const OfdmParams& params = {});
+
+}  // namespace nplus::phy

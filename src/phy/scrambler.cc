@@ -1,0 +1,24 @@
+#include "phy/scrambler.h"
+
+namespace nplus::phy {
+
+std::uint8_t Scrambler::next_bit() {
+  // Feedback = x^7 XOR x^4 (bits 6 and 3 of the 7-bit register).
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return fb;
+}
+
+void Scrambler::process(Bits& bits) {
+  for (auto& b : bits) b = static_cast<std::uint8_t>((b ^ next_bit()) & 1u);
+}
+
+Bits scramble(const Bits& bits, std::uint8_t seed) {
+  Scrambler s(seed);
+  Bits out = bits;
+  s.process(out);
+  return out;
+}
+
+}  // namespace nplus::phy

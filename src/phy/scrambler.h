@@ -1,0 +1,36 @@
+// 802.11 frame-synchronous scrambler (polynomial x^7 + x^4 + 1).
+//
+// Scrambling whitens the bit stream before convolutional coding so that long
+// runs of identical bits do not bias the constellation. Descrambling is the
+// same operation (self-inverse given the same initial state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nplus::phy {
+
+using Bits = std::vector<std::uint8_t>;  // one bit per byte, value 0 or 1
+
+class Scrambler {
+ public:
+  // `seed` is the 7-bit initial shift-register state (nonzero).
+  explicit Scrambler(std::uint8_t seed = 0x5D) : state_(seed & 0x7F) {}
+
+  // Produces the next scrambling bit and advances the register.
+  std::uint8_t next_bit();
+
+  // Scrambles (== descrambles) a bit vector in place.
+  void process(Bits& bits);
+
+ private:
+  std::uint8_t state_;
+};
+
+// Convenience one-shot forms.
+Bits scramble(const Bits& bits, std::uint8_t seed = 0x5D);
+inline Bits descramble(const Bits& bits, std::uint8_t seed = 0x5D) {
+  return scramble(bits, seed);
+}
+
+}  // namespace nplus::phy

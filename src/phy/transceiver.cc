@@ -1,0 +1,531 @@
+#include "phy/transceiver.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "linalg/decomp.h"
+#include "linalg/subspace.h"
+#include "phy/ofdm.h"
+
+namespace nplus::phy {
+
+namespace {
+
+using linalg::CMat;
+using linalg::CVec;
+
+// Common amplitude scale applied to every time-domain section so that unit
+// frequency-domain symbols produce unit mean transmit power (see ofdm.cc).
+double time_scale(const OfdmParams& params) {
+  const double n = static_cast<double>(params.scaled_fft());
+  return n / std::sqrt(static_cast<double>(params.used_subcarriers()));
+}
+
+// IFFT of 53 logical-subcarrier values into a CP-prefixed symbol.
+Samples logical_to_time(const std::vector<cdouble>& logical,
+                        std::size_t cp_len, const OfdmParams& params) {
+  const std::size_t n = params.scaled_fft();
+  std::vector<cdouble> bins(n, cdouble{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    bins[subcarrier_bin(k, n)] = logical[static_cast<std::size_t>(k + 26)];
+  }
+  Samples time = nplus::dsp::ifft(bins);
+  const double c = time_scale(params);
+  for (auto& v : time) v *= c;
+  Samples out;
+  out.reserve(cp_len + n);
+  out.insert(out.end(), time.end() - static_cast<long>(cp_len), time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+}  // namespace
+
+PrecodingPlan PrecodingPlan::direct(std::size_t n_antennas,
+                                    std::size_t n_streams) {
+  assert(n_streams <= n_antennas);
+  CMat v(n_antennas, n_streams);
+  for (std::size_t i = 0; i < n_streams; ++i) v(i, i) = cdouble{1.0, 0.0};
+  return uniform(v);
+}
+
+PrecodingPlan PrecodingPlan::uniform(const linalg::CMat& v_all) {
+  PrecodingPlan plan;
+  plan.v.assign(53, v_all);
+  return plan;
+}
+
+std::size_t TxFrame::stf_len() const {
+  return 10 * (params.scaled_fft() / 4);
+}
+
+std::size_t TxFrame::ltf_slot_len() const {
+  return 2 * params.scaled_cp() + 2 * params.scaled_fft();
+}
+
+std::size_t TxFrame::data_offset() const {
+  return stf_len() + n_streams * ltf_slot_len();
+}
+
+std::size_t TxFrame::total_len() const {
+  return data_offset() + n_data_symbols * params.symbol_len();
+}
+
+TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
+                       const PrecodingPlan& plan, const OfdmParams& params) {
+  const std::size_t n_streams = stream_symbols.size();
+  const std::size_t n_ant = plan.n_antennas();
+  assert(n_streams >= 1 && plan.n_streams() == n_streams);
+
+  // Pad every stream to the longest stream's symbol count.
+  std::size_t max_syms = 0;
+  for (const auto& s : stream_symbols) {
+    assert(s.size() % params.n_data_subcarriers == 0);
+    max_syms = std::max(max_syms, s.size() / params.n_data_subcarriers);
+  }
+
+  TxFrame frame;
+  frame.params = params;
+  frame.n_streams = n_streams;
+  frame.n_data_symbols = max_syms;
+  frame.antennas.assign(n_ant, Samples{});
+  for (auto& a : frame.antennas) a.reserve(frame.total_len());
+
+  const std::size_t n = params.scaled_fft();
+  const std::size_t cp = params.scaled_cp();
+
+  // --- STF, precoded with stream 0's vectors (sqrt(2) boost equalizes the
+  // 12-carrier STF power with the 52-carrier sections). One 64-sample period
+  // tiled to 10 short symbols (2.5 periods).
+  {
+    const auto& sf = stf_freq();
+    for (std::size_t a = 0; a < n_ant; ++a) {
+      std::vector<cdouble> logical(53, cdouble{0.0, 0.0});
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        const cdouble s = sf[static_cast<std::size_t>(k + 26)];
+        if (s == cdouble{0.0, 0.0}) continue;
+        logical[static_cast<std::size_t>(k + 26)] =
+            std::sqrt(2.0) * s * plan.at(k)(a, 0);
+      }
+      const Samples sym = logical_to_time(logical, 0, params);  // no CP
+      Samples stf;
+      stf.reserve(10 * (n / 4));
+      // 2 full periods + half period = 160 samples at n = 64.
+      stf.insert(stf.end(), sym.begin(), sym.end());
+      stf.insert(stf.end(), sym.begin(), sym.end());
+      stf.insert(stf.end(), sym.begin(), sym.begin() + static_cast<long>(n / 2));
+      frame.antennas[a] = std::move(stf);
+    }
+  }
+
+  // --- Per-stream LTF slots.
+  const auto& lf = ltf_freq();
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    for (std::size_t a = 0; a < n_ant; ++a) {
+      std::vector<cdouble> logical(53, cdouble{0.0, 0.0});
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        logical[static_cast<std::size_t>(k + 26)] =
+            lf[static_cast<std::size_t>(k + 26)] * plan.at(k)(a, i);
+      }
+      // Double CP + two symbol repetitions.
+      const Samples sym = logical_to_time(logical, 0, params);
+      Samples slot;
+      slot.reserve(2 * cp + 2 * n);
+      slot.insert(slot.end(), sym.end() - static_cast<long>(2 * cp), sym.end());
+      slot.insert(slot.end(), sym.begin(), sym.end());
+      slot.insert(slot.end(), sym.begin(), sym.end());
+      auto& out = frame.antennas[a];
+      out.insert(out.end(), slot.begin(), slot.end());
+    }
+  }
+
+  // --- Data symbols.
+  static const auto data_sc = data_subcarriers();
+  for (std::size_t t = 0; t < max_syms; ++t) {
+    const double pol = pilot_polarity(t);
+    const auto& pp = pilot_pattern();
+    for (std::size_t a = 0; a < n_ant; ++a) {
+      std::vector<cdouble> logical(53, cdouble{0.0, 0.0});
+      // Data subcarriers: superpose all streams through the precoder.
+      for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
+        const int k = data_sc[i];
+        cdouble acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n_streams; ++j) {
+          const auto& sj = stream_symbols[j];
+          const std::size_t idx = t * params.n_data_subcarriers + i;
+          const cdouble sym =
+              idx < sj.size() ? sj[idx] : cdouble{0.0, 0.0};
+          acc += plan.at(k)(a, j) * sym;
+        }
+        logical[static_cast<std::size_t>(k + 26)] = acc;
+      }
+      // Pilots ride stream 0's precoder so they obey the same nulling and
+      // alignment constraints as the data.
+      for (std::size_t i = 0; i < kPilotSubcarriers.size(); ++i) {
+        const int k = kPilotSubcarriers[i];
+        logical[static_cast<std::size_t>(k + 26)] =
+            plan.at(k)(a, 0) * cdouble{pol * pp[i], 0.0};
+      }
+      const Samples sym = logical_to_time(logical, cp, params);
+      auto& out = frame.antennas[a];
+      out.insert(out.end(), sym.begin(), sym.end());
+    }
+  }
+  return frame;
+}
+
+TxFrame build_tx_frame_bytes(
+    const std::vector<std::vector<std::uint8_t>>& stream_payloads,
+    const Mcs& mcs, const PrecodingPlan& plan, const OfdmParams& params) {
+  std::vector<std::vector<cdouble>> symbols;
+  symbols.reserve(stream_payloads.size());
+  for (const auto& p : stream_payloads) {
+    symbols.push_back(encode_payload(p, mcs));
+  }
+  return build_tx_frame(symbols, plan, params);
+}
+
+EffectiveChannels estimate_effective_channels(const std::vector<Samples>& rx,
+                                              std::size_t frame_start,
+                                              std::size_t n_streams,
+                                              const OfdmParams& params) {
+  const std::size_t n_rx = rx.size();
+  const std::size_t stf = 10 * (params.scaled_fft() / 4);
+  const std::size_t slot = 2 * params.scaled_cp() + 2 * params.scaled_fft();
+
+  EffectiveChannels channels(53, CMat(n_rx, n_streams));
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    const std::size_t off = frame_start + stf + i * slot;
+    for (std::size_t a = 0; a < n_rx; ++a) {
+      const ChannelEstimate est = estimate_from_ltf(rx[a], off, params);
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        channels[static_cast<std::size_t>(k + 26)](a, i) = est.at(k);
+      }
+    }
+  }
+  return channels;
+}
+
+InterferenceMap no_interference(std::size_t n_rx) {
+  return InterferenceMap(53, CMat(n_rx, 0));
+}
+
+InterferenceMap stack_interference(const InterferenceMap& base,
+                                   const EffectiveChannels& add) {
+  InterferenceMap out(53, CMat{});
+  for (std::size_t i = 0; i < 53; ++i) {
+    out[i] = base[i].hstack(add[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Per-subcarrier equalizer: projection onto the interference-free subspace
+// followed by zero-forcing of the frame's streams.
+struct SubcarrierEq {
+  CMat combiner;          // n_streams x n_rx: s_hat = combiner * y
+  std::vector<double> noise_gain;  // per stream: ||row||^2 (noise variance
+                                   // multiplier after equalization)
+  bool ok = false;
+};
+
+SubcarrierEq equalizer_from_projected(const CMat& w, const CMat& g_proj) {
+  SubcarrierEq eq;
+  const std::size_t n_streams = g_proj.cols();
+  if (w.cols() < n_streams) return eq;
+  const CMat z = linalg::pinv(g_proj);            // (n_streams x d)
+  eq.combiner = z * w.hermitian();                // (n_streams x n_rx)
+  eq.noise_gain.resize(n_streams, 0.0);
+  for (std::size_t j = 0; j < n_streams; ++j) {
+    eq.noise_gain[j] = eq.combiner.row(j).norm_sq();
+  }
+  eq.ok = true;
+  return eq;
+}
+
+// Builds per-subcarrier equalizers with *projected-space* channel
+// estimation: the receiver first projects each LTF observation onto the
+// orthogonal complement of the known interference, then least-squares
+// estimates the effective channel there. This is how a receiver estimates a
+// joiner's preamble that is concurrent with ongoing transmissions (§3.2:
+// "tx3 can decode q using standard decoders" after projecting).
+std::vector<SubcarrierEq> make_projected_equalizers(
+    const std::vector<Samples>& rx, std::size_t frame_start,
+    std::size_t n_streams, const InterferenceMap& interference,
+    const OfdmParams& params) {
+  const std::size_t n_rx = rx.size();
+  const std::size_t n = params.scaled_fft();
+  const std::size_t cp = params.scaled_cp();
+  const std::size_t stf = 10 * (n / 4);
+  const std::size_t slot = 2 * cp + 2 * n;
+
+  // Interference-free bases per subcarrier.
+  std::vector<CMat> w(53);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    w[static_cast<std::size_t>(k + 26)] = linalg::orthogonal_complement(
+        interference[static_cast<std::size_t>(k + 26)]);
+  }
+
+  // Projected LTF estimation per stream slot.
+  const double scale = time_scale(params);
+  const auto& lf = ltf_freq();
+  std::vector<CMat> g_proj(53);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const std::size_t ki = static_cast<std::size_t>(k + 26);
+    g_proj[ki] = CMat(w[ki].cols(), n_streams);
+  }
+
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    const std::size_t slot_off = frame_start + stf + i * slot;
+    // Two repeated LTF symbols after the double CP.
+    for (int rep = 0; rep < 2; ++rep) {
+      const std::size_t sym_off =
+          slot_off + 2 * cp + static_cast<std::size_t>(rep) * n;
+      if (sym_off + n > rx[0].size()) return {};
+      std::vector<std::vector<cdouble>> bins(n_rx);
+      for (std::size_t a = 0; a < n_rx; ++a) {
+        std::vector<cdouble> window(
+            rx[a].begin() + static_cast<long>(sym_off),
+            rx[a].begin() + static_cast<long>(sym_off + n));
+        nplus::dsp::fft_inplace(window);
+        bins[a] = std::move(window);
+      }
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        const std::size_t ki = static_cast<std::size_t>(k + 26);
+        const cdouble l = lf[ki];
+        if (l == cdouble{0.0, 0.0}) continue;
+        CVec y(n_rx);
+        for (std::size_t a = 0; a < n_rx; ++a) {
+          y[a] = bins[a][subcarrier_bin(k, n)];
+        }
+        const CVec proj = w[ki].hermitian() * y;
+        for (std::size_t d = 0; d < proj.size(); ++d) {
+          g_proj[ki](d, i) += proj[d] / (l * scale) * cdouble{0.5, 0.0};
+        }
+      }
+    }
+  }
+
+  std::vector<SubcarrierEq> eq(53);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const std::size_t ki = static_cast<std::size_t>(k + 26);
+    eq[ki] = equalizer_from_projected(w[ki], g_proj[ki]);
+  }
+  return eq;
+}
+
+}  // namespace
+
+DecodeResult decode_frame(const std::vector<Samples>& rx,
+                          std::size_t frame_start,
+                          const std::vector<std::size_t>& payload_bytes,
+                          const Mcs& mcs, std::size_t n_streams,
+                          const std::vector<std::size_t>& wanted_streams,
+                          const InterferenceMap& interference,
+                          double noise_var, const OfdmParams& params) {
+  assert(payload_bytes.size() == wanted_streams.size());
+  DecodeResult result;
+  result.channels =
+      estimate_effective_channels(rx, frame_start, n_streams, params);
+
+  // Per-subcarrier equalizers with projected-space channel estimation
+  // (robust to the frame's preamble overlapping ongoing transmissions).
+  std::vector<SubcarrierEq> eq =
+      make_projected_equalizers(rx, frame_start, n_streams, interference,
+                                params);
+  if (eq.empty()) return result;
+
+  static const auto data_sc = data_subcarriers();
+  const std::size_t n_rx = rx.size();
+  const std::size_t sym_len = params.symbol_len();
+  const std::size_t data_off = frame_start + 10 * (params.scaled_fft() / 4) +
+                               n_streams * (2 * params.scaled_cp() +
+                                            2 * params.scaled_fft());
+
+  // Determine symbol count from the longest wanted payload.
+  std::size_t n_syms = 0;
+  for (std::size_t b : payload_bytes) {
+    n_syms = std::max(n_syms, encoded_symbol_count(b, mcs));
+  }
+
+  // Collected per-stream symbol observations.
+  std::vector<std::vector<cdouble>> obs(
+      n_streams, std::vector<cdouble>(n_syms * params.n_data_subcarriers));
+  std::vector<std::vector<double>> obs_nv(
+      n_streams, std::vector<double>(n_syms * params.n_data_subcarriers, 1.0));
+
+  for (std::size_t t = 0; t < n_syms; ++t) {
+    const std::size_t off = data_off + t * sym_len;
+    if (off + sym_len > rx[0].size()) break;
+    // Demodulate all antennas.
+    std::vector<std::vector<cdouble>> bins(n_rx);
+    for (std::size_t a = 0; a < n_rx; ++a) {
+      bins[a] = ofdm_demod_bins(rx[a], off, params);
+    }
+
+    // Pilot-based common phase: equalize stream 0 at each pilot subcarrier.
+    cdouble phase_acc{0.0, 0.0};
+    const double pol = pilot_polarity(t);
+    const auto& pp = pilot_pattern();
+    for (std::size_t pi = 0; pi < kPilotSubcarriers.size(); ++pi) {
+      const int k = kPilotSubcarriers[pi];
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      if (!eq[ki].ok) continue;
+      CVec y(n_rx);
+      for (std::size_t a = 0; a < n_rx; ++a) {
+        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
+      }
+      const CVec s_hat = eq[ki].combiner * y;
+      const cdouble expected{pol * pp[pi], 0.0};
+      phase_acc += s_hat[0] * std::conj(expected);
+    }
+    const cdouble phase_fix =
+        std::abs(phase_acc) > 0.0
+            ? std::conj(phase_acc / std::abs(phase_acc))
+            : cdouble{1.0, 0.0};
+
+    for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
+      const int k = data_sc[i];
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      const std::size_t idx = t * params.n_data_subcarriers + i;
+      if (!eq[ki].ok) {
+        for (std::size_t j = 0; j < n_streams; ++j) {
+          obs[j][idx] = {0.0, 0.0};
+          obs_nv[j][idx] = 1e9;
+        }
+        continue;
+      }
+      CVec y(n_rx);
+      for (std::size_t a = 0; a < n_rx; ++a) {
+        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
+      }
+      const CVec s_hat = eq[ki].combiner * y;
+      for (std::size_t j = 0; j < n_streams; ++j) {
+        obs[j][idx] = s_hat[j] * phase_fix;
+        obs_nv[j][idx] = std::max(noise_var * eq[ki].noise_gain[j], 1e-12);
+      }
+    }
+  }
+
+  // Decode wanted streams.
+  for (std::size_t wi = 0; wi < wanted_streams.size(); ++wi) {
+    const std::size_t j = wanted_streams[wi];
+    const std::size_t need =
+        encoded_symbol_count(payload_bytes[wi], mcs) *
+        params.n_data_subcarriers;
+    std::vector<cdouble> sym(obs[j].begin(),
+                             obs[j].begin() + static_cast<long>(need));
+    std::vector<double> nv(obs_nv[j].begin(),
+                           obs_nv[j].begin() + static_cast<long>(need));
+    result.payloads.push_back(
+        decode_payload(sym, nv, payload_bytes[wi], mcs));
+  }
+
+  // Average post-equalization SNR per data subcarrier over wanted streams.
+  result.subcarrier_snr.assign(params.n_data_subcarriers, 0.0);
+  for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
+    double acc = 0.0;
+    for (std::size_t j : wanted_streams) {
+      acc += 1.0 / obs_nv[j][i];  // unit symbol energy / noise variance
+    }
+    result.subcarrier_snr[i] =
+        wanted_streams.empty() ? 0.0
+                               : acc / static_cast<double>(
+                                           wanted_streams.size());
+  }
+  return result;
+}
+
+std::vector<double> measure_stream_snr(
+    const std::vector<Samples>& rx, std::size_t frame_start,
+    const std::vector<cdouble>& known_symbols, std::size_t n_streams,
+    std::size_t stream_idx, const InterferenceMap& interference,
+    const OfdmParams& params) {
+  assert(known_symbols.size() % params.n_data_subcarriers == 0);
+  const std::size_t n_syms = known_symbols.size() / params.n_data_subcarriers;
+
+  std::vector<SubcarrierEq> eq =
+      make_projected_equalizers(rx, frame_start, n_streams, interference,
+                                params);
+  if (eq.empty()) {
+    return std::vector<double>(params.n_data_subcarriers, 0.0);
+  }
+
+  static const auto data_sc = data_subcarriers();
+  const std::size_t n_rx = rx.size();
+  const std::size_t sym_len = params.symbol_len();
+  const std::size_t data_off = frame_start + 10 * (params.scaled_fft() / 4) +
+                               n_streams * (2 * params.scaled_cp() +
+                                            2 * params.scaled_fft());
+
+  std::vector<double> err(params.n_data_subcarriers, 0.0);
+  std::vector<double> sig(params.n_data_subcarriers, 0.0);
+  std::vector<std::size_t> count(params.n_data_subcarriers, 0);
+
+  for (std::size_t t = 0; t < n_syms; ++t) {
+    const std::size_t off = data_off + t * sym_len;
+    if (off + sym_len > rx[0].size()) break;
+    std::vector<std::vector<cdouble>> bins(n_rx);
+    for (std::size_t a = 0; a < n_rx; ++a) {
+      bins[a] = ofdm_demod_bins(rx[a], off, params);
+    }
+
+    // Common-phase correction from pilots (stream 0 carries them).
+    cdouble phase_acc{0.0, 0.0};
+    const double pol = pilot_polarity(t);
+    const auto& pp = pilot_pattern();
+    for (std::size_t pi = 0; pi < kPilotSubcarriers.size(); ++pi) {
+      const int k = kPilotSubcarriers[pi];
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      if (!eq[ki].ok) continue;
+      CVec y(n_rx);
+      for (std::size_t a = 0; a < n_rx; ++a) {
+        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
+      }
+      const CVec s_hat = eq[ki].combiner * y;
+      phase_acc += s_hat[0] * std::conj(cdouble{pol * pp[pi], 0.0});
+    }
+    const cdouble phase_fix =
+        std::abs(phase_acc) > 0.0
+            ? std::conj(phase_acc / std::abs(phase_acc))
+            : cdouble{1.0, 0.0};
+
+    for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
+      const int k = data_sc[i];
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      if (!eq[ki].ok) continue;
+      CVec y(n_rx);
+      for (std::size_t a = 0; a < n_rx; ++a) {
+        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
+      }
+      const CVec s_hat = eq[ki].combiner * y;
+      const cdouble known = known_symbols[t * params.n_data_subcarriers + i];
+      const cdouble e = s_hat[stream_idx] * phase_fix - known;
+      err[i] += std::norm(e);
+      sig[i] += std::norm(known);
+      ++count[i];
+    }
+  }
+
+  std::vector<double> snr(params.n_data_subcarriers, 0.0);
+  for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
+    if (count[i] == 0 || err[i] <= 0.0) {
+      snr[i] = 1e12;
+      continue;
+    }
+    snr[i] = sig[i] / err[i];
+  }
+  return snr;
+}
+
+}  // namespace nplus::phy

@@ -1,0 +1,134 @@
+// Sample-level MIMO OFDM transceiver.
+//
+// TX side: builds a full frame (STF, per-stream LTF slots, precoded data
+// symbols) as one sample stream per transmit antenna. The *same* precoding
+// vectors are applied to the preamble LTFs and the data, which is the
+// mechanism that lets every receiver estimate effective (post-precoding)
+// channels directly — the paper's footnote 1: "rx2 does not need to know
+// alpha because tx2 sends its preamble while nulling at rx1".
+//
+// RX side: estimates per-stream effective channels from the LTF slots,
+// projects each subcarrier onto the orthogonal complement of known
+// interference (multi-dimensional zero-forcing), equalizes, and decodes.
+// Also provides an EVM-based SNR measurement path for experiments that
+// compare against known transmitted symbols (Fig. 9/11 reproductions).
+//
+// Frame layout (per antenna, sample offsets relative to frame start):
+//   [STF: 160] [LTF slot per stream: 160 each] [data symbols: 80 each]
+// (lengths shown for cp_scale = 1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.h"
+#include "phy/channel_est.h"
+#include "phy/frame.h"
+#include "phy/ofdm_params.h"
+#include "phy/preamble.h"
+
+namespace nplus::phy {
+
+// Per-subcarrier precoding: 53 matrices (logical subcarriers -26..26, index
+// k+26), each n_antennas x n_streams. The DC entry is unused.
+struct PrecodingPlan {
+  std::vector<linalg::CMat> v;
+
+  // Direct antenna mapping: stream i -> antenna i (classic MIMO, no
+  // nulling); requires n_streams <= n_antennas.
+  static PrecodingPlan direct(std::size_t n_antennas, std::size_t n_streams);
+
+  // The same M x m matrix on every subcarrier (flat-channel shortcut).
+  static PrecodingPlan uniform(const linalg::CMat& v_all);
+
+  std::size_t n_antennas() const { return v.empty() ? 0 : v[26].rows(); }
+  std::size_t n_streams() const { return v.empty() ? 0 : v[26].cols(); }
+  const linalg::CMat& at(int k) const {
+    return v[static_cast<std::size_t>(k + 26)];
+  }
+};
+
+// One frame on the air: a sample stream per transmit antenna.
+struct TxFrame {
+  std::vector<Samples> antennas;
+  std::size_t n_streams = 0;
+  std::size_t n_data_symbols = 0;
+  OfdmParams params;
+
+  std::size_t stf_len() const;
+  std::size_t ltf_slot_len() const;
+  std::size_t data_offset() const;  // sample offset of first data symbol
+  std::size_t total_len() const;
+};
+
+// Builds the sample streams for one frame carrying one constellation-symbol
+// stream per spatial stream. Each `stream_symbols[i]` must be a multiple of
+// 48 symbols; shorter streams are zero-padded to the longest one.
+TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
+                       const PrecodingPlan& plan,
+                       const OfdmParams& params = {});
+
+// Convenience: encodes per-stream payload bytes at `mcs` first.
+TxFrame build_tx_frame_bytes(
+    const std::vector<std::vector<std::uint8_t>>& stream_payloads,
+    const Mcs& mcs, const PrecodingPlan& plan, const OfdmParams& params = {});
+
+// --- Receive path -------------------------------------------------------
+
+// Effective channel of every stream of a frame at every subcarrier:
+// entry k+26 is an (n_rx_antennas x n_streams) matrix.
+using EffectiveChannels = std::vector<linalg::CMat>;
+
+// Estimates effective channels from the per-stream LTF slots of a frame
+// starting at `frame_start` in the per-antenna streams `rx`.
+EffectiveChannels estimate_effective_channels(const std::vector<Samples>& rx,
+                                              std::size_t frame_start,
+                                              std::size_t n_streams,
+                                              const OfdmParams& params = {});
+
+// Known interference subspace at the receiver: entry k+26 is an
+// (n_rx_antennas x n_interferers) matrix of interference channel columns
+// (may have zero columns when the medium is otherwise idle).
+using InterferenceMap = std::vector<linalg::CMat>;
+
+// Builds an empty interference map (zero columns) for n_rx antennas.
+InterferenceMap no_interference(std::size_t n_rx);
+
+// Appends the columns of `add` to `base` per subcarrier.
+InterferenceMap stack_interference(const InterferenceMap& base,
+                                   const EffectiveChannels& add);
+
+struct DecodeResult {
+  // Decoded payload per wanted stream (nullopt on CRC failure).
+  std::vector<std::optional<std::vector<std::uint8_t>>> payloads;
+  // Post-equalization SNR per data subcarrier (averaged over wanted
+  // streams), linear — feedstock for ESNR rate selection.
+  std::vector<double> subcarrier_snr;
+  // Channel estimates for the frame's streams (all of them).
+  EffectiveChannels channels;
+};
+
+// Decodes `wanted_streams` of a frame. `interference` spans the channels of
+// concurrent transmissions the receiver wants to ignore (multi-dimensional
+// carrier sense has already identified them); the receiver projects onto its
+// orthogonal complement before zero-forcing the frame's own streams.
+// `noise_var` is the per-antenna AWGN variance (for SNR bookkeeping).
+DecodeResult decode_frame(const std::vector<Samples>& rx,
+                          std::size_t frame_start,
+                          const std::vector<std::size_t>& payload_bytes,
+                          const Mcs& mcs, std::size_t n_streams,
+                          const std::vector<std::size_t>& wanted_streams,
+                          const InterferenceMap& interference,
+                          double noise_var, const OfdmParams& params = {});
+
+// EVM measurement for experiments: equalizes stream `stream_idx` exactly
+// like decode_frame and compares against the known transmitted symbols.
+// Returns per-data-subcarrier linear SNR (signal power / error power),
+// averaged over all data symbols in the frame.
+std::vector<double> measure_stream_snr(
+    const std::vector<Samples>& rx, std::size_t frame_start,
+    const std::vector<cdouble>& known_symbols, std::size_t n_streams,
+    std::size_t stream_idx, const InterferenceMap& interference,
+    const OfdmParams& params = {});
+
+}  // namespace nplus::phy

@@ -1,0 +1,119 @@
+// One n+ transmission round at packet level (§3.1).
+//
+// A round = primary contention -> first winner's light-weight handshake ->
+// secondary contentions/handshakes of each joiner (staggered, as in §6.3's
+// experiment) -> concurrent data bodies that all end with the first winner's
+// packet -> SIFS -> concurrent ACKs.
+//
+// The builder walks the winner order, applies the DoF bookkeeping
+// (Claim 3.2), the L-threshold admission/power-control rule (§4), computes
+// per-subcarrier nulling/alignment precoders from reciprocity-derived
+// channel estimates (§3.3), selects each joiner's bitrate from its
+// post-projection effective SNR at join time (§3.4), and finally scores
+// every link's delivery against the SINR that *actually* materialized once
+// all joiners were on the air (residual nulling/alignment error included).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mac/airtime.h"
+#include "mac/contention.h"
+#include "nulling/admission.h"
+#include "sim/rx_math.h"
+#include "sim/world.h"
+
+namespace nplus::sim {
+
+// A traffic demand: tx_node wants to send to rx_node. Several links may
+// share a transmitter (the Fig. 4 AP scenario).
+struct Link {
+  std::size_t tx_node = 0;
+  std::size_t rx_node = 0;
+};
+
+struct Scenario {
+  std::vector<NodeSpec> nodes;
+  std::vector<Link> links;
+
+  // Distinct transmitter nodes, in first-appearance order.
+  std::vector<std::size_t> transmitters() const;
+  // Link indices whose transmitter is `tx`.
+  std::vector<std::size_t> links_of(std::size_t tx) const;
+};
+
+struct RoundConfig {
+  // One packet (as in the paper: winners transmit a 1500-byte packet over
+  // however many streams they use; joiners fragment/aggregate to fill the
+  // winner's airtime).
+  std::size_t packet_bytes = 1500;
+  mac::AirtimeConfig airtime{};
+  nulling::AdmissionConfig admission{};
+  // Rate-selection headroom (dB) absorbing residual error added by joiners
+  // that arrive after the rate is locked (§3.4).
+  double rate_margin_db = 1.0;
+  // true: charge contention, light-weight handshakes and ACKs to the round
+  // and delay joiners' bodies accordingly (realistic MAC accounting).
+  // false: body-phase throughput as in the paper's §6.3 experiments, where
+  // the GNURadio prototype staggers all RTS/CTS *before* the concurrent
+  // bodies and measures delivered bits over the data phase (it implements
+  // neither ACKs nor inline contention), quoting the handshake overhead
+  // (~4%) separately.
+  bool include_overheads = true;
+  // true: run real DCF backoff for each contention round; false: pick the
+  // winner order uniformly at random (the paper's §6.3 methodology) and
+  // charge average contention time.
+  bool dcf_contention = false;
+};
+
+struct LinkOutcome {
+  std::size_t streams = 0;
+  int mcs_index = -1;            // -1: link did not transmit (or no rate)
+  double esnr_db = -100.0;       // ESNR at rate-selection time
+  double final_esnr_db = -100.0; // ESNR with every joiner on the air
+  double per = 1.0;
+  double delivered_bits = 0.0;
+};
+
+struct RoundResult {
+  double duration_s = 0.0;
+  std::size_t total_streams = 0;
+  std::vector<std::size_t> winner_order;  // tx nodes, join order
+  std::vector<LinkOutcome> links;         // indexed like Scenario::links
+};
+
+// Runs one full n+ round.
+RoundResult run_nplus_round(const World& world, const Scenario& scenario,
+                            util::Rng& rng, const RoundConfig& config);
+
+// --- Shared helper for the baselines -----------------------------------
+//
+// Evaluates a transmission that owns the whole medium (no concurrency):
+// used by the 802.11n baseline (single link, direct mapping) and the
+// multi-user beamforming baseline (one AP zero-forcing to several clients,
+// Aryafar et al. [7]).
+struct IsolatedDest {
+  std::size_t link_idx = 0;
+  std::size_t rx_node = 0;
+  std::size_t n_streams = 1;
+};
+
+struct IsolatedTxSpec {
+  std::size_t tx_node = 0;
+  std::vector<IsolatedDest> dests;
+  // true: transmit-side zero-forcing across dests (beamforming baseline);
+  // false: direct antenna mapping (single dest only).
+  bool mu_beamforming = false;
+};
+
+struct IsolatedTxResult {
+  double airtime_s = 0.0;
+  std::vector<LinkOutcome> outcomes;  // parallel to spec.dests
+};
+
+IsolatedTxResult evaluate_isolated_tx(const World& world,
+                                      const IsolatedTxSpec& spec,
+                                      util::Rng& rng,
+                                      const RoundConfig& config);
+
+}  // namespace nplus::sim

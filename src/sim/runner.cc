@@ -1,0 +1,80 @@
+#include "sim/runner.h"
+
+#include <optional>
+
+namespace nplus::sim {
+
+std::vector<MethodResult> run_experiment(
+    const channel::Testbed& testbed, const Scenario& scenario,
+    const ExperimentConfig& config, const std::vector<RoundFn>& methods) {
+  std::vector<MethodResult> results(methods.size());
+  for (auto& r : results) r.samples.reserve(config.n_placements);
+
+  util::Rng master(config.seed);
+  for (std::size_t p = 0; p < config.n_placements; ++p) {
+    util::Rng placement_rng = master.fork(p + 1);
+
+    // Draw placements until every traffic pair is alive (or give up and
+    // accept the last draw).
+    std::optional<World> world;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const std::vector<std::size_t> locations =
+          testbed.random_placement(scenario.nodes.size(), placement_rng);
+      world.emplace(testbed, scenario.nodes, locations, placement_rng,
+                    config.world);
+      bool alive = true;
+      for (const auto& link : scenario.links) {
+        if (world->link_snr_db(link.tx_node, link.rx_node) <
+            config.min_pair_snr_db) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) break;
+    }
+
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      util::Rng round_rng = placement_rng.fork(1000 + m);
+      double total_time = 0.0;
+      std::vector<double> bits(scenario.links.size(), 0.0);
+      for (std::size_t r = 0; r < config.rounds_per_placement; ++r) {
+        const GenericRound round = methods[m](*world, round_rng);
+        total_time += round.duration_s;
+        for (std::size_t l = 0; l < bits.size() &&
+                                l < round.delivered_bits.size();
+             ++l) {
+          bits[l] += round.delivered_bits[l];
+        }
+      }
+      ThroughputSample sample;
+      sample.per_link_mbps.resize(bits.size());
+      double total_bits = 0.0;
+      for (std::size_t l = 0; l < bits.size(); ++l) {
+        sample.per_link_mbps[l] =
+            total_time > 0.0 ? bits[l] / total_time / 1e6 : 0.0;
+        total_bits += bits[l];
+      }
+      sample.total_mbps =
+          total_time > 0.0 ? total_bits / total_time / 1e6 : 0.0;
+      results[m].samples.push_back(std::move(sample));
+    }
+  }
+  return results;
+}
+
+RoundFn make_nplus_round_fn(const Scenario& scenario,
+                            const RoundConfig& config) {
+  return [&scenario, config](const World& world,
+                             util::Rng& rng) -> GenericRound {
+    const RoundResult res = run_nplus_round(world, scenario, rng, config);
+    GenericRound out;
+    out.duration_s = res.duration_s;
+    out.delivered_bits.resize(res.links.size());
+    for (std::size_t i = 0; i < res.links.size(); ++i) {
+      out.delivered_bits[i] = res.links[i].delivered_bits;
+    }
+    return out;
+  };
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,58 @@
+// Experiment harness: repeats a scenario over many random testbed
+// placements (the paper's methodology for every CDF figure) and aggregates
+// per-link and total throughput.
+//
+// Multiple access methods (n+, 802.11n, beamforming) are evaluated against
+// the *same* sequence of worlds so that per-placement gain ratios
+// (Fig. 13's x axis) are meaningful paired comparisons.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "sim/round.h"
+
+namespace nplus::sim {
+
+struct ThroughputSample {
+  double total_mbps = 0.0;
+  std::vector<double> per_link_mbps;  // indexed like Scenario::links
+};
+
+// One access-method round: returns airtime consumed and bits delivered per
+// scenario link.
+struct GenericRound {
+  double duration_s = 0.0;
+  std::vector<double> delivered_bits;
+};
+using RoundFn =
+    std::function<GenericRound(const World&, util::Rng&)>;
+
+struct ExperimentConfig {
+  std::size_t n_placements = 100;
+  std::size_t rounds_per_placement = 10;
+  RoundConfig round{};
+  WorldConfig world{};
+  std::uint64_t seed = 1;
+  // Placements where any traffic pair's raw link SNR falls below this are
+  // redrawn (up to 50 tries): the paper's experiments run between nodes
+  // that can actually communicate, so dead pairs never enter the CDFs.
+  double min_pair_snr_db = 8.0;
+};
+
+struct MethodResult {
+  std::vector<ThroughputSample> samples;  // one per placement
+};
+
+// Runs every method over the same placements. `n_nodes_hint` lets callers
+// with nodes that never transmit still get placed; pass scenario.nodes.
+std::vector<MethodResult> run_experiment(
+    const channel::Testbed& testbed, const Scenario& scenario,
+    const ExperimentConfig& config, const std::vector<RoundFn>& methods);
+
+// Adapter: the n+ protocol as a RoundFn.
+RoundFn make_nplus_round_fn(const Scenario& scenario,
+                            const RoundConfig& config);
+
+}  // namespace nplus::sim

@@ -1,0 +1,19 @@
+#include "sim/scenarios.h"
+
+namespace nplus::sim {
+
+Scenario three_pair_scenario() {
+  Scenario s;
+  s.nodes = {{1}, {1}, {2}, {2}, {3}, {3}};
+  s.links = {{0, 1}, {2, 3}, {4, 5}};
+  return s;
+}
+
+Scenario ap_scenario() {
+  Scenario s;
+  s.nodes = {{1}, {2}, {3}, {2}, {2}};
+  s.links = {{0, 1}, {2, 3}, {2, 4}};
+  return s;
+}
+
+}  // namespace nplus::sim

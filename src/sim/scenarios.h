@@ -1,0 +1,25 @@
+// The paper's two evaluation scenarios.
+//
+// Fig. 3 ("three pairs"): tx1-rx1 single-antenna, tx2-rx2 two-antenna,
+// tx3-rx3 three-antenna — the workload behind Figs. 5, 9, 11 and 12.
+//
+// Fig. 4 ("AP scenario"): a single-antenna client c1 transmitting up to a
+// 2-antenna AP1, while a 3-antenna AP2 has traffic for two 2-antenna
+// clients c2 and c3 — the workload behind Fig. 13, exercising transmitters
+// and receivers with different antenna counts and multi-receiver
+// transmissions.
+#pragma once
+
+#include "sim/round.h"
+
+namespace nplus::sim {
+
+// Node indices: 0:tx1 1:rx1 2:tx2 3:rx2 4:tx3 5:rx3.
+// Link indices: 0: tx1->rx1, 1: tx2->rx2, 2: tx3->rx3.
+Scenario three_pair_scenario();
+
+// Node indices: 0:c1(1) 1:AP1(2) 2:AP2(3) 3:c2(2) 4:c3(2).
+// Link indices: 0: c1->AP1, 1: AP2->c2, 2: AP2->c3.
+Scenario ap_scenario();
+
+}  // namespace nplus::sim

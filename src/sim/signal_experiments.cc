@@ -1,0 +1,474 @@
+#include "sim/signal_experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/scene.h"
+#include "dsp/correlate.h"
+#include "dsp/signal.h"
+#include "linalg/subspace.h"
+#include "nulling/carrier_sense.h"
+#include "nulling/compression.h"
+#include "nulling/precoder.h"
+#include "phy/constellation.h"
+#include "phy/transceiver.h"
+#include "util/units.h"
+
+namespace nplus::sim {
+
+namespace {
+
+using channel::MimoChannel;
+using channel::Scene;
+using linalg::CMat;
+using linalg::cdouble;
+using phy::Samples;
+
+constexpr std::size_t kNsc = 48;
+
+// Random unit-power QPSK payload symbols (multiples of 48).
+std::vector<cdouble> random_symbols(std::size_t n_ofdm_symbols,
+                                    util::Rng& rng) {
+  phy::Bits bits(2 * kNsc * n_ofdm_symbols);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  return phy::map_bits(bits, phy::Modulation::kQpsk);
+}
+
+// Tap-subspace smoothing of a per-subcarrier channel-matrix estimate
+// (each antenna pair independently).
+void smooth_channels(std::vector<CMat>& channels) {
+  if (channels.empty() || channels[26].empty()) return;
+  const std::size_t rows = channels[26].rows();
+  const std::size_t cols = channels[26].cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      phy::ChannelEstimate one;
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        one.at(k) = channels[static_cast<std::size_t>(k + 26)](r, c);
+      }
+      const phy::ChannelEstimate sm = phy::smooth_to_taps(one);
+      for (int k = -26; k <= 26; ++k) {
+        if (k == 0) continue;
+        channels[static_cast<std::size_t>(k + 26)](r, c) = sm.at(k);
+      }
+    }
+  }
+}
+
+// The receiver of an ongoing stream transmits its CTS (one LTF slot per
+// antenna); the prospective joiner estimates the reverse channel from it
+// and transposes it into a belief about its own forward channel.
+// `reverse_ch` is the receiver->joiner link (n_joiner x n_receiver); the
+// reciprocity calibration error is already baked in (MimoChannel::reverse).
+// Returns per-logical-subcarrier (n_receiver x n_joiner) beliefs about the
+// joiner->receiver channel.
+std::vector<CMat> reciprocal_belief(const MimoChannel& reverse_ch,
+                                    double noise_power, util::Rng& rng) {
+  const std::size_t n_joiner = reverse_ch.n_rx();
+  const std::size_t n_receiver = reverse_ch.n_tx();
+  Scene scene(noise_power, rng);
+  const std::size_t node = scene.add_node(n_joiner);
+
+  const phy::PrecodingPlan plan =
+      phy::PrecodingPlan::direct(n_receiver, n_receiver);
+  std::vector<std::vector<cdouble>> streams(n_receiver);
+  for (auto& s : streams) s = random_symbols(1, rng);
+  const phy::TxFrame frame = phy::build_tx_frame(streams, plan);
+  const std::size_t tx_id = scene.add_transmission(frame.antennas, 0);
+  scene.set_channel(tx_id, node, reverse_ch);
+
+  const auto rx = scene.render(node, frame.total_len() + 8);
+  const phy::EffectiveChannels est =
+      phy::estimate_effective_channels(rx, 0, n_receiver);
+
+  std::vector<CMat> belief(53);
+  for (std::size_t k = 0; k < 53; ++k) {
+    belief[k] = est[k].transpose();  // (n_receiver x n_joiner)
+  }
+
+  // Tap-subspace smoothing per antenna pair (Edfors et al. [9]): without it,
+  // estimation noise on the overheard CTS caps the nulling depth well below
+  // the hardware's 25-27 dB.
+  smooth_channels(belief);
+  return belief;
+}
+
+// Mean data-section power of a frame rendered alone at a 1-antenna node,
+// expressed as SNR over the noise floor (the "unwanted SNR" measurement
+// phases of §6.2).
+double alone_snr_db(Scene& scene, std::size_t node, std::size_t data_start,
+                    std::size_t data_len, double noise_power) {
+  const auto rx = scene.render(node, data_start + data_len);
+  double p = 0.0;
+  for (const auto& ant : rx) {
+    p += nplus::dsp::window_power(ant, data_start, data_len);
+  }
+  p /= static_cast<double>(rx.size());
+  const double sig = std::max(p - noise_power, noise_power * 1e-6);
+  return util::to_db(sig / noise_power);
+}
+
+double mean_db(const std::vector<double>& snr_linear) {
+  double acc = 0.0;
+  for (double s : snr_linear) acc += s;
+  acc /= static_cast<double>(snr_linear.size());
+  return util::to_db(std::max(acc, 1e-12));
+}
+
+}  // namespace
+
+NullingTrial run_nulling_trial(const channel::Testbed& testbed,
+                               util::Rng& rng,
+                               const SignalExpConfig& config) {
+  NullingTrial trial;
+  const double noise = testbed.noise_power_linear();
+  const phy::OfdmParams params;
+
+  // Place tx1, rx1, tx2 at distinct random locations.
+  const auto loc = testbed.random_placement(3, rng);
+  MimoChannel ch_t1_r1 = testbed.make_channel(loc[0], loc[1], 1, 1, rng);
+  MimoChannel ch_t2_r1 = testbed.make_channel(loc[2], loc[1], 2, 1, rng);
+  const MimoChannel ch_r1_t2 =
+      ch_t2_r1.reverse(config.calibration_std, rng);
+
+  const auto tx1_syms = random_symbols(config.n_data_symbols, rng);
+  const phy::TxFrame tx1_frame = phy::build_tx_frame(
+      {tx1_syms}, phy::PrecodingPlan::direct(1, 1), params);
+
+  // --- Phase 1: wanted SNR (tx1 alone at rx1).
+  {
+    Scene scene(noise, rng);
+    const std::size_t rx1 = scene.add_node(1);
+    const std::size_t t = scene.add_transmission(tx1_frame.antennas, 0);
+    scene.set_channel(t, rx1, ch_t1_r1);
+    const auto rx = scene.render(rx1, tx1_frame.total_len() + 8);
+    trial.wanted_snr_db = mean_db(phy::measure_stream_snr(
+        rx, 0, tx1_syms, 1, 0, phy::no_interference(1), params));
+  }
+
+  // --- Phase 2: unwanted SNR (tx2 alone at rx1, no nulling).
+  const auto tx2_syms = random_symbols(config.n_data_symbols, rng);
+  {
+    Scene scene(noise, rng);
+    const std::size_t rx1 = scene.add_node(1);
+    const phy::TxFrame plain = phy::build_tx_frame(
+        {tx2_syms}, phy::PrecodingPlan::direct(2, 1), params);
+    const std::size_t t = scene.add_transmission(plain.antennas, 0);
+    scene.set_channel(t, rx1, ch_t2_r1);
+    trial.unwanted_snr_db =
+        alone_snr_db(scene, rx1, plain.data_offset(),
+                     plain.total_len() - plain.data_offset(), noise);
+  }
+
+  // --- Phase 3: concurrent, tx2 nulling at rx1 via reciprocity.
+  {
+    const std::vector<CMat> belief = reciprocal_belief(ch_r1_t2, noise, rng);
+    phy::PrecodingPlan plan;
+    plan.v.resize(53);
+    for (int k = -26; k <= 26; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      if (k == 0) {
+        plan.v[ki] = CMat(2, 1);
+        continue;
+      }
+      const auto pre = nulling::compute_join_precoder(
+          2, {nulling::make_null_constraint(belief[ki])}, 1);
+      plan.v[ki] = pre.has_value() ? pre->v : CMat(2, 1);
+    }
+    const phy::TxFrame tx2_frame =
+        phy::build_tx_frame({tx2_syms}, plan, params);
+
+    Scene scene(noise, rng);
+    const std::size_t rx1 = scene.add_node(1);
+    const std::size_t t1 = scene.add_transmission(tx1_frame.antennas, 0);
+    scene.set_channel(t1, rx1, ch_t1_r1);
+    // tx2 starts right as tx1's data begins (its handshake preceded), so
+    // tx1's preamble stays clean while every tx1 data symbol sees tx2.
+    const std::size_t t2 =
+        scene.add_transmission(tx2_frame.antennas, tx1_frame.data_offset());
+    scene.set_channel(t2, rx1, ch_t2_r1);
+
+    const std::size_t len =
+        tx1_frame.data_offset() + tx2_frame.total_len() + 8;
+    const auto rx = scene.render(rx1, len);
+    trial.snr_after_db = mean_db(phy::measure_stream_snr(
+        rx, 0, tx1_syms, 1, 0, phy::no_interference(1), params));
+  }
+
+  // Cancellation depth: residual-over-noise from the SNR drop.
+  const double resid_over_noise = std::max(
+      util::from_db(trial.wanted_snr_db - trial.snr_after_db) - 1.0, 1e-4);
+  trial.cancellation_db =
+      trial.unwanted_snr_db - util::to_db(resid_over_noise);
+  return trial;
+}
+
+AlignmentTrial run_alignment_trial(const channel::Testbed& testbed,
+                                   util::Rng& rng,
+                                   const SignalExpConfig& config) {
+  AlignmentTrial trial;
+  const double noise = testbed.noise_power_linear();
+  const phy::OfdmParams params;
+
+  // Locations: tx1, rx1, tx2, rx2, tx3.
+  const auto loc = testbed.random_placement(5, rng);
+  MimoChannel ch_t1_r1 = testbed.make_channel(loc[0], loc[1], 1, 1, rng);
+  MimoChannel ch_t1_r2 = testbed.make_channel(loc[0], loc[3], 1, 2, rng);
+  MimoChannel ch_t2_r1 = testbed.make_channel(loc[2], loc[1], 2, 1, rng);
+  MimoChannel ch_t2_r2 = testbed.make_channel(loc[2], loc[3], 2, 2, rng);
+  MimoChannel ch_t3_r1 = testbed.make_channel(loc[4], loc[1], 3, 1, rng);
+  MimoChannel ch_t3_r2 = testbed.make_channel(loc[4], loc[3], 3, 2, rng);
+
+  const MimoChannel ch_r1_t2 = ch_t2_r1.reverse(config.calibration_std, rng);
+  const MimoChannel ch_r1_t3 = ch_t3_r1.reverse(config.calibration_std, rng);
+  const MimoChannel ch_r2_t3 = ch_t3_r2.reverse(config.calibration_std, rng);
+
+  const auto tx1_syms = random_symbols(config.n_data_symbols + 2, rng);
+  const auto tx2_syms = random_symbols(config.n_data_symbols, rng);
+  const auto tx3_syms = random_symbols(config.n_data_symbols, rng);
+
+  const phy::TxFrame tx1_frame = phy::build_tx_frame(
+      {tx1_syms}, phy::PrecodingPlan::direct(1, 1), params);
+
+  // tx2 nulls at rx1 (reciprocity), as in the Fig. 3 protocol flow.
+  phy::PrecodingPlan plan2;
+  plan2.v.resize(53);
+  {
+    const std::vector<CMat> belief = reciprocal_belief(ch_r1_t2, noise, rng);
+    for (int k = -26; k <= 26; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      if (k == 0) {
+        plan2.v[ki] = CMat(2, 1);
+        continue;
+      }
+      const auto pre = nulling::compute_join_precoder(
+          2, {nulling::make_null_constraint(belief[ki])}, 1);
+      plan2.v[ki] = pre.has_value() ? pre->v : CMat(2, 1);
+    }
+  }
+  const phy::TxFrame tx2_frame = phy::build_tx_frame({tx2_syms}, plan2, params);
+
+  // rx2 estimates tx1's channel from tx1's clean preamble; this defines
+  // rx2's unwanted space. What tx3 receives is the *advertised* version:
+  // the unwanted basis runs through the §3.5 differential quantizer before
+  // it reaches the CTS, so tx3 aligns into a slightly rotated space while
+  // rx2 projects with its own unquantized estimate. This advertisement
+  // error is exactly why the paper finds alignment less accurate than
+  // nulling (§6.2).
+  phy::InterferenceMap rx2_interference = phy::no_interference(2);
+  std::vector<CMat> rx2_wanted_rows(53);  // advertised U^perp rows
+  {
+    // Two independent observations of tx1's preamble: the first feeds the
+    // CTS advertisement (handshake time); the second is what the receiver
+    // actually projects with at decode time. Their independent estimation
+    // noise — plus the §3.5 quantizer in between — is the "additional
+    // noise" that makes alignment less accurate than nulling (§6.2).
+    auto estimate_once = [&]() {
+      Scene scene(noise, rng);
+      const std::size_t rx2 = scene.add_node(2);
+      const std::size_t t1 = scene.add_transmission(tx1_frame.antennas, 0);
+      scene.set_channel(t1, rx2, ch_t1_r2);
+      const auto rx = scene.render(rx2, tx1_frame.total_len() + 8);
+      return phy::estimate_effective_channels(rx, 0, 1);
+    };
+    phy::EffectiveChannels est_handshake = estimate_once();
+    phy::EffectiveChannels est_decode = estimate_once();
+    smooth_channels(est_handshake);
+    smooth_channels(est_decode);
+
+    std::vector<CMat> unwanted(53);
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      rx2_interference[ki] = est_decode[ki];  // (2 x 1) decode-time column
+      unwanted[ki] = linalg::orthonormal_basis(est_handshake[ki]);
+    }
+    const nulling::CompressedAlignment adv =
+        nulling::compress_alignment(unwanted);
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      const CMat u_hat =
+          linalg::orthonormal_basis(adv.reconstructed[ki]);
+      rx2_wanted_rows[ki] =
+          linalg::orthogonal_complement(u_hat).hermitian();  // (1 x 2)
+    }
+  }
+
+  // tx3's precoder: null at rx1, align into rx2's unwanted space.
+  phy::PrecodingPlan plan3;
+  plan3.v.resize(53);
+  {
+    const std::vector<CMat> belief_r1 =
+        reciprocal_belief(ch_r1_t3, noise, rng);
+    const std::vector<CMat> belief_r2 =
+        reciprocal_belief(ch_r2_t3, noise, rng);
+    for (int k = -26; k <= 26; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k + 26);
+      if (k == 0) {
+        plan3.v[ki] = CMat(3, 1);
+        continue;
+      }
+      const auto pre = nulling::compute_join_precoder(
+          3,
+          {nulling::make_null_constraint(belief_r1[ki]),
+           nulling::make_align_constraint(belief_r2[ki],
+                                          rx2_wanted_rows[ki])},
+          1);
+      plan3.v[ki] = pre.has_value() ? pre->v : CMat(3, 1);
+    }
+  }
+  const phy::TxFrame tx3_frame = phy::build_tx_frame({tx3_syms}, plan3, params);
+
+  const std::size_t tx2_start = tx1_frame.data_offset();
+  const std::size_t tx3_start = tx2_start + tx2_frame.data_offset();
+
+  // --- Phase 1: tx1 + tx2 concurrent, tx3 silent: wanted SNR at rx2.
+  {
+    Scene scene(noise, rng);
+    const std::size_t rx2 = scene.add_node(2);
+    const std::size_t t1 = scene.add_transmission(tx1_frame.antennas, 0);
+    scene.set_channel(t1, rx2, ch_t1_r2);
+    const std::size_t t2 =
+        scene.add_transmission(tx2_frame.antennas, tx2_start);
+    scene.set_channel(t2, rx2, ch_t2_r2);
+    const std::size_t len = tx2_start + tx2_frame.total_len() + 8;
+    const auto rx = scene.render(rx2, len);
+    trial.wanted_snr_db = mean_db(phy::measure_stream_snr(
+        rx, tx2_start, tx2_syms, 1, 0, rx2_interference, params));
+  }
+
+  // --- Phase 2: tx3 alone at rx2 (direct, no alignment): unwanted SNR.
+  {
+    Scene scene(noise, rng);
+    const std::size_t rx2 = scene.add_node(2);
+    const phy::TxFrame plain = phy::build_tx_frame(
+        {tx3_syms}, phy::PrecodingPlan::direct(3, 1), params);
+    const std::size_t t = scene.add_transmission(plain.antennas, 0);
+    scene.set_channel(t, rx2, ch_t3_r2);
+    trial.unwanted_snr_db =
+        alone_snr_db(scene, rx2, plain.data_offset(),
+                     plain.total_len() - plain.data_offset(), noise);
+  }
+
+  // --- Phase 3: all three concurrent, tx3 aligned.
+  {
+    Scene scene(noise, rng);
+    const std::size_t rx2 = scene.add_node(2);
+    const std::size_t t1 = scene.add_transmission(tx1_frame.antennas, 0);
+    scene.set_channel(t1, rx2, ch_t1_r2);
+    const std::size_t t2 =
+        scene.add_transmission(tx2_frame.antennas, tx2_start);
+    scene.set_channel(t2, rx2, ch_t2_r2);
+    const std::size_t t3 =
+        scene.add_transmission(tx3_frame.antennas, tx3_start);
+    scene.set_channel(t3, rx2, ch_t3_r2);
+    const std::size_t len = tx3_start + tx3_frame.total_len() + 8;
+    const auto rx = scene.render(rx2, len);
+    trial.snr_after_db = mean_db(phy::measure_stream_snr(
+        rx, tx2_start, tx2_syms, 1, 0, rx2_interference, params));
+  }
+  return trial;
+}
+
+CarrierSenseTrial run_carrier_sense_trial(util::Rng& rng,
+                                          const CarrierSenseConfigExp& cfg) {
+  CarrierSenseTrial trial;
+  const phy::OfdmParams params;
+  const double noise = 1e-6;
+  const std::size_t sym_len = params.symbol_len();
+
+  // Channels scaled to hit the target SNRs at the 3-antenna sensor.
+  channel::ChannelProfile profile;
+  MimoChannel ch_t1(3, 1, noise * util::from_db(cfg.tx1_snr_db), profile,
+                    rng);
+  MimoChannel ch_t2(3, 1, noise * util::from_db(cfg.tx2_snr_db), profile,
+                    rng);
+
+  // tx1: long frame; tx2 joins at a known symbol.
+  const std::size_t total_syms = 50;
+  const auto tx1_syms = random_symbols(total_syms, rng);
+  const phy::TxFrame f1 = phy::build_tx_frame(
+      {tx1_syms}, phy::PrecodingPlan::direct(1, 1), params);
+  const auto tx2_syms = random_symbols(10, rng);
+  const phy::TxFrame f2 = phy::build_tx_frame(
+      {tx2_syms}, phy::PrecodingPlan::direct(1, 1), params);
+
+  trial.tx2_start_symbol = 30;
+  const std::size_t tx2_start =
+      f1.data_offset() + trial.tx2_start_symbol * sym_len;
+
+  Scene scene(noise, rng);
+  const std::size_t sensor = scene.add_node(3);
+  const std::size_t t1 = scene.add_transmission(f1.antennas, 0);
+  scene.set_channel(t1, sensor, ch_t1);
+  const std::size_t t2 = scene.add_transmission(f2.antennas, tx2_start);
+  scene.set_channel(t2, sensor, ch_t2);
+
+  const std::size_t len = f1.total_len() + 8;
+  const auto rx = scene.render(sensor, len);
+
+  // Occupied-subspace estimate from a tx1-only stretch (symbols 5..25).
+  const CMat occupied = nulling::estimate_occupied_subspace(
+      rx, f1.data_offset() + 5 * sym_len, 20 * sym_len, noise);
+  const auto projected = nulling::project_out(rx, occupied);
+
+  // Per-symbol power profiles over the data section.
+  auto profile_of = [&](const std::vector<Samples>& streams) {
+    std::vector<double> p(total_syms, 0.0);
+    for (std::size_t s = 0; s < total_syms; ++s) {
+      double acc = 0.0;
+      for (const auto& st : streams) {
+        acc += nplus::dsp::window_power(st, f1.data_offset() + s * sym_len,
+                                        sym_len);
+      }
+      p[s] = acc / static_cast<double>(streams.size());
+    }
+    return p;
+  };
+  trial.power_raw = profile_of(rx);
+  trial.power_projected = profile_of(projected);
+
+  auto jump_db = [&](const std::vector<double>& p) {
+    double before = 0.0, after = 0.0;
+    int nb = 0, na = 0;
+    for (std::size_t s = 10; s + 2 < trial.tx2_start_symbol; ++s) {
+      before += p[s];
+      ++nb;
+    }
+    for (std::size_t s = trial.tx2_start_symbol + 2;
+         s < trial.tx2_start_symbol + 8 && s < p.size(); ++s) {
+      after += p[s];
+      ++na;
+    }
+    if (nb == 0 || na == 0 || before <= 0.0) return 0.0;
+    return util::to_db((after / na) / (before / nb));
+  };
+  trial.jump_raw_db = jump_db(trial.power_raw);
+  trial.jump_projected_db = jump_db(trial.power_projected);
+
+  // Preamble cross-correlation: slide tx2's STF template around its start
+  // (active) and around a quiet stretch (silent), take the max.
+  const Samples stf = phy::stf_time(params);
+  auto max_corr = [&](const std::vector<Samples>& streams, std::size_t at) {
+    double best = 0.0;
+    for (const auto& st : streams) {
+      for (std::size_t off = at; off + stf.size() < st.size() &&
+                                 off < at + 2 * sym_len;
+           off += 4) {
+        best = std::max(best,
+                        nplus::dsp::normalized_correlation(st, off, stf));
+      }
+    }
+    return best;
+  };
+  const std::size_t silent_at = f1.data_offset() + 8 * sym_len;
+  trial.corr_raw_active = max_corr(rx, tx2_start);
+  trial.corr_raw_silent = max_corr(rx, silent_at);
+  trial.corr_projected_active = max_corr(projected, tx2_start);
+  trial.corr_projected_silent = max_corr(projected, silent_at);
+  return trial;
+}
+
+}  // namespace nplus::sim

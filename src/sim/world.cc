@@ -1,0 +1,123 @@
+#include "sim/world.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "phy/ofdm_params.h"
+#include "util/units.h"
+
+namespace nplus::sim {
+
+World::World(const channel::Testbed& testbed,
+             const std::vector<NodeSpec>& nodes,
+             const std::vector<std::size_t>& locations, util::Rng& rng,
+             const WorldConfig& config)
+    : nodes_(nodes),
+      config_(config),
+      noise_power_(testbed.noise_power_linear()),
+      rng_(rng.fork(0x77)) {
+  assert(nodes.size() == locations.size());
+  const std::size_t n = nodes.size();
+  static const auto data_sc = phy::data_subcarriers();
+
+  channels_.assign(n, std::vector<std::vector<CMat>>(n));
+  recip_.assign(n, std::vector<std::vector<CMat>>(n));
+  link_snr_db_.assign(n, std::vector<double>(n, -300.0));
+
+  // Draw one physical channel per unordered pair; the reverse direction is
+  // its exact transpose (electromagnetic reciprocity).
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const channel::MimoChannel fwd = testbed.make_channel(
+          locations[a], locations[b], nodes[a].n_antennas,
+          nodes[b].n_antennas, rng);
+
+      channels_[a][b].resize(kSubcarriers);
+      channels_[b][a].resize(kSubcarriers);
+      for (std::size_t s = 0; s < kSubcarriers; ++s) {
+        const CMat h = fwd.freq_response(data_sc[s], config.fft_size);
+        channels_[a][b][s] = h;                 // a -> b: N_b x M_a
+        channels_[b][a][s] = h.transpose();     // b -> a: reciprocity
+      }
+
+      // Pre-cancellation link SNR (mean channel entry power / noise).
+      double p = 0.0;
+      std::size_t cnt = 0;
+      for (std::size_t s = 0; s < kSubcarriers; ++s) {
+        const CMat& h = channels_[a][b][s];
+        for (std::size_t r = 0; r < h.rows(); ++r) {
+          for (std::size_t c = 0; c < h.cols(); ++c) {
+            p += std::norm(h(r, c));
+            ++cnt;
+          }
+        }
+      }
+      const double snr =
+          util::to_db(std::max(p / static_cast<double>(cnt), 1e-30) /
+                      noise_power_);
+      link_snr_db_[a][b] = snr;
+      link_snr_db_[b][a] = snr;
+    }
+  }
+
+  // Reciprocity-derived knowledge: node a's belief about channel a -> b is
+  // the (noisy estimate of) the overheard b -> a channel, transposed, with
+  // a fixed per-antenna-pair calibration error.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      recip_[a][b].resize(kSubcarriers);
+      // One calibration error per antenna pair, constant across subcarriers
+      // (hardware chains are flat over 10 MHz).
+      CMat cal(nodes_[b].n_antennas, nodes_[a].n_antennas);
+      for (std::size_t r = 0; r < cal.rows(); ++r) {
+        for (std::size_t c = 0; c < cal.cols(); ++c) {
+          cal(r, c) = cdouble{1.0, 0.0} +
+                      rng_.cgaussian(config_.calibration_std *
+                                     config_.calibration_std);
+        }
+      }
+      for (std::size_t s = 0; s < kSubcarriers; ++s) {
+        const CMat est_rev = estimate(channels_[b][a][s]);  // M_a x N_b
+        CMat belief = est_rev.transpose();                  // N_b x M_a
+        for (std::size_t r = 0; r < belief.rows(); ++r) {
+          for (std::size_t c = 0; c < belief.cols(); ++c) {
+            belief(r, c) *= cal(r, c);
+          }
+        }
+        recip_[a][b][s] = std::move(belief);
+      }
+    }
+  }
+}
+
+const CMat& World::channel(std::size_t a, std::size_t b,
+                           std::size_t sc) const {
+  assert(a != b && sc < kSubcarriers);
+  return channels_[a][b][sc];
+}
+
+double World::link_snr_db(std::size_t a, std::size_t b) const {
+  return link_snr_db_[a][b];
+}
+
+CMat World::estimate(const CMat& true_channel) const {
+  CMat est = true_channel;
+  if (config_.estimation_noise_scale <= 0.0) return est;
+  // LS estimate over the two LTF repetitions: error variance noise/2.
+  const double var = config_.estimation_noise_scale * noise_power_ / 2.0;
+  for (std::size_t r = 0; r < est.rows(); ++r) {
+    for (std::size_t c = 0; c < est.cols(); ++c) {
+      est(r, c) += rng_.cgaussian(var);
+    }
+  }
+  return est;
+}
+
+const CMat& World::reciprocal_channel(std::size_t a, std::size_t b,
+                                      std::size_t sc) const {
+  assert(a != b && sc < kSubcarriers);
+  return recip_[a][b][sc];
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,91 @@
+// The packet-level "world": nodes placed on the testbed with fully drawn
+// per-subcarrier MIMO channels between every node pair, plus the two error
+// processes that bound real-world nulling depth:
+//   * estimation error — every channel estimate from a preamble carries
+//     CN(0, noise/2) noise per entry (LS estimation over the two LTF
+//     repetitions);
+//   * reciprocity calibration error — channels inferred from overheard
+//     transmissions in the opposite direction additionally carry a small
+//     multiplicative error left over after hardware calibration (§2
+//     footnote 2; this is what caps cancellation at the paper's ~25-27 dB).
+//
+// The signal-level plane (channel::Scene + phy::transceiver) reproduces
+// these effects physically; this class reproduces them statistically so the
+// MAC/throughput experiments can run thousands of rounds cheaply.
+#pragma once
+
+#include <vector>
+
+#include "channel/mimo_channel.h"
+#include "channel/testbed.h"
+#include "linalg/mat.h"
+#include "util/rng.h"
+
+namespace nplus::sim {
+
+using linalg::CMat;
+using linalg::cdouble;
+
+struct NodeSpec {
+  std::size_t n_antennas = 1;
+};
+
+struct WorldConfig {
+  // Residual multiplicative reciprocity-calibration error (std of the
+  // complex relative error). 0.045 yields ~27 dB max cancellation.
+  double calibration_std = 0.045;
+  // Scale on the additive estimation noise (1 = physical LS noise; 0
+  // disables estimation error for idealized studies).
+  double estimation_noise_scale = 1.0;
+  std::size_t fft_size = 64;
+};
+
+class World {
+ public:
+  // Places `nodes` at `locations` (testbed location indices) and draws all
+  // pairwise channels.
+  World(const channel::Testbed& testbed, const std::vector<NodeSpec>& nodes,
+        const std::vector<std::size_t>& locations, util::Rng& rng,
+        const WorldConfig& config = {});
+
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t antennas(std::size_t node) const {
+    return nodes_[node].n_antennas;
+  }
+  double noise_power() const { return noise_power_; }
+  const WorldConfig& config() const { return config_; }
+
+  // True channel from node a to node b on data subcarrier index `sc`
+  // (0..47): an (antennas(b) x antennas(a)) matrix.
+  const CMat& channel(std::size_t a, std::size_t b, std::size_t sc) const;
+
+  // Mean per-antenna received power at b for a unit-power transmission from
+  // one antenna of a (averaged over subcarriers) divided by noise: the
+  // pre-cancellation "interference SNR" of Fig. 11's x axis, in dB.
+  double link_snr_db(std::size_t a, std::size_t b) const;
+
+  // Draws a fresh receiver-side estimate of an effective channel matrix
+  // (adds LS estimation noise; deterministic in the world's RNG stream).
+  CMat estimate(const CMat& true_channel) const;
+
+  // The channel from a to b as *node a* can know it: reciprocity from b's
+  // overheard transmission, i.e. estimate noise + calibration error.
+  // Cached per (a, b): the calibration error is a fixed hardware property.
+  const CMat& reciprocal_channel(std::size_t a, std::size_t b,
+                                 std::size_t sc) const;
+
+  static constexpr std::size_t kSubcarriers = 48;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  WorldConfig config_;
+  double noise_power_;
+  mutable util::Rng rng_;
+  // channels_[a][b][sc]: true channel a -> b.
+  std::vector<std::vector<std::vector<CMat>>> channels_;
+  // recip_[a][b][sc]: a's belief about channel a -> b.
+  std::vector<std::vector<std::vector<CMat>>> recip_;
+  std::vector<std::vector<double>> link_snr_db_;
+};
+
+}  // namespace nplus::sim

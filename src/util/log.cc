@@ -1,0 +1,31 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace nplus::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+void default_sink(LogLevel level, const std::string& msg) {
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)],
+               msg.c_str());
+}
+
+LogSink g_sink = &default_sink;
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void set_log_sink(LogSink sink) { g_sink = sink; }
+void reset_log_sink() { g_sink = &default_sink; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg) { g_sink(level, msg); }
+}  // namespace detail
+
+}  // namespace nplus::util

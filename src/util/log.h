@@ -1,0 +1,58 @@
+// Minimal leveled logging used across the simulator.
+//
+// The simulator is deterministic and single-threaded, so logging is a plain
+// stream with a global level; no synchronization needed. Benchmarks set the
+// level to kError so that per-event chatter never pollutes the measured path.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nplus::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+// Global threshold: messages below this level are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Sink for log lines; defaults to stderr. Tests may install a capture sink.
+using LogSink = void (*)(LogLevel, const std::string&);
+void set_log_sink(LogSink sink);
+void reset_log_sink();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { emit(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nplus::util
+
+#define NPLUS_LOG(level)                                        \
+  if (static_cast<int>(level) < static_cast<int>(::nplus::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::nplus::util::detail::LineLogger(level)
+
+#define NPLUS_TRACE() NPLUS_LOG(::nplus::util::LogLevel::kTrace)
+#define NPLUS_DEBUG() NPLUS_LOG(::nplus::util::LogLevel::kDebug)
+#define NPLUS_INFO() NPLUS_LOG(::nplus::util::LogLevel::kInfo)
+#define NPLUS_WARN() NPLUS_LOG(::nplus::util::LogLevel::kWarn)
+#define NPLUS_ERROR() NPLUS_LOG(::nplus::util::LogLevel::kError)

@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in the library draws randomness through util::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is a
+// PCG-XSH-RR (O'Neill 2014) implemented locally: small state, excellent
+// statistical quality, and identical output on every platform (unlike
+// std::mt19937 paired with std:: distributions, whose output is
+// implementation-defined for the distribution step).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace nplus::util {
+
+using cdouble = std::complex<double>;
+
+// PCG32 core: 64-bit state, 32-bit output, period 2^64 per stream.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0U;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+// High-level RNG with the distributions the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1, std::uint64_t stream = 54u)
+      : gen_(seed, stream) {}
+
+  // Uniform in [0, 1).
+  double uniform() {
+    // 53-bit mantissa from two 32-bit draws.
+    const std::uint64_t hi = gen_.next();
+    const std::uint64_t lo = gen_.next();
+    const std::uint64_t bits = ((hi << 32) | lo) >> 11;  // 53 bits
+    return static_cast<double>(bits) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n) for n >= 1 (unbiased via rejection).
+  std::uint32_t uniform_int(std::uint32_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_int(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double gaussian();
+
+  // Normal with given mean / standard deviation.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  // Circularly-symmetric complex Gaussian with E[|z|^2] = variance.
+  cdouble cgaussian(double variance = 1.0) {
+    const double s = std::sqrt(variance / 2.0);
+    return {s * gaussian(), s * gaussian()};
+  }
+
+  // Random complex phase e^{j theta}, theta ~ U[0, 2*pi).
+  cdouble phase() {
+    const double t = uniform(0.0, 2.0 * std::numbers::pi);
+    return {std::cos(t), std::sin(t)};
+  }
+
+  // Exponential with given mean.
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_int(static_cast<std::uint32_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Draw k distinct indices from [0, n).
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  // Fork a child generator with an independent stream; deterministic in
+  // (parent seed, label). Used to give each node / channel its own stream.
+  Rng fork(std::uint64_t label) {
+    const std::uint64_t s1 = gen_.next();
+    const std::uint64_t s2 = gen_.next();
+    return Rng((s1 << 32) ^ s2 ^ (label * 0x9e3779b97f4a7c15ULL),
+               label * 2u + 1u);
+  }
+
+ private:
+  Pcg32 gen_;
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace nplus::util

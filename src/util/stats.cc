@@ -1,0 +1,70 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nplus::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(samples.size());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cdf.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+Histogram::Histogram(double lo, double hi, int nbuckets)
+    : lo_(lo), width_((hi - lo) / nbuckets) {
+  buckets_.reserve(static_cast<std::size_t>(nbuckets));
+  for (int i = 0; i < nbuckets; ++i) {
+    buckets_.push_back({lo + i * width_, lo + (i + 1) * width_, {}});
+  }
+}
+
+void Histogram::add(double x, double y) {
+  if (x < lo_) return;
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= buckets_.size()) return;
+  buckets_[idx].stats.add(y);
+}
+
+std::string bucket_label(const Bucket& b) {
+  std::ostringstream os;
+  os << b.lo << "-" << b.hi;
+  return os.str();
+}
+
+}  // namespace nplus::util

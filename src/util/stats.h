@@ -1,0 +1,64 @@
+// Small statistics helpers used by experiments and benches: running moments,
+// percentiles, empirical CDFs, and histogram bucketing for the paper's
+// bar-chart figures (Fig. 11).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nplus::util {
+
+// Online mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set (linear interpolation between order statistics);
+// p in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double p);
+
+// Empirical CDF evaluated over the sorted samples: returns (x, F(x)) pairs,
+// one per sample, suitable for plotting the paper's CDF figures.
+struct CdfPoint {
+  double x;
+  double f;
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
+
+// Fixed-width bucketing used by Fig. 11 (e.g. buckets [7.5,12.5), ...).
+struct Bucket {
+  double lo;
+  double hi;
+  RunningStats stats;
+};
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int nbuckets);
+  // Adds y-value `y` into the bucket containing `x`; out-of-range x ignored.
+  void add(double x, double y);
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+ private:
+  double lo_, width_;
+  std::vector<Bucket> buckets_;
+};
+
+// Renders "lo-hi" labels like the paper's x axis ("7.5-12.5").
+std::string bucket_label(const Bucket& b);
+
+}  // namespace nplus::util

@@ -1,0 +1,36 @@
+// Unit helpers: dB <-> linear conversions and common physical constants.
+//
+// Power quantities throughout the code base are linear (milliwatts or plain
+// ratios) internally and converted to dB only at API boundaries and for
+// reporting, which avoids accidental double conversion.
+#pragma once
+
+#include <cmath>
+
+namespace nplus::util {
+
+// Power ratio -> decibels. Requires ratio > 0 for a finite result.
+inline double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+// Decibels -> power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+// Amplitude ratio -> decibels (20 log10).
+inline double amp_to_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+// dBm -> milliwatts and back.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+// Speed of light (m/s), used for propagation-delay calculations.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+// Boltzmann constant (J/K) for thermal-noise floor computations.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+// Thermal noise power in dBm over `bandwidth_hz` at T = 290 K.
+inline double thermal_noise_dbm(double bandwidth_hz) {
+  return 10.0 * std::log10(kBoltzmann * 290.0 * bandwidth_hz * 1000.0);
+}
+
+}  // namespace nplus::util

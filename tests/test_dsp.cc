@@ -1,0 +1,202 @@
+// Tests for the DSP substrate: FFT correctness, correlation detectors,
+// and sample-stream operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/correlate.h"
+#include "dsp/fft.h"
+#include "dsp/signal.h"
+#include "util/rng.h"
+
+namespace nplus::dsp {
+namespace {
+
+std::vector<cdouble> random_signal(std::size_t n, util::Rng& rng) {
+  std::vector<cdouble> x(n);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  return x;
+}
+
+TEST(Fft, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+}
+
+class FftSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSuite, RoundtripIdentity) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(1);
+  const auto x = random_signal(n, rng);
+  const auto y = ifft(fft(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST_P(FftSuite, ParsevalHolds) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(2);
+  const auto x = random_signal(n, rng);
+  const auto big_x = fft(x);
+  double et = 0.0, ef = 0.0;
+  for (const auto& v : x) et += std::norm(v);
+  for (const auto& v : big_x) ef += std::norm(v);
+  EXPECT_NEAR(ef, et * static_cast<double>(n), 1e-7 * ef);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSuite, ::testing::Values(1, 2, 8, 64, 256));
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<cdouble> x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const auto y = fft(x);
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v - cdouble{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const int k = 5;
+  std::vector<cdouble> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * std::numbers::pi * k * static_cast<double>(t) / n;
+    x[t] = {std::cos(ang), std::sin(ang)};
+  }
+  const auto y = fft(x);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b == static_cast<std::size_t>(k)) {
+      EXPECT_NEAR(std::abs(y[b]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(y[b]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, LinearityOfShift) {
+  // fftshift twice = identity (even size).
+  util::Rng rng(3);
+  const auto x = random_signal(16, rng);
+  const auto y = fftshift(fftshift(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(y[i], x[i]);
+  }
+}
+
+TEST(Correlate, PerfectMatchIsOne) {
+  util::Rng rng(4);
+  const auto w = random_signal(32, rng);
+  std::vector<cdouble> stream(100, {0.0, 0.0});
+  for (std::size_t i = 0; i < w.size(); ++i) stream[20 + i] = w[i] * cdouble{2.0, 1.0};
+  EXPECT_NEAR(normalized_correlation(stream, 20, w), 1.0, 1e-9);
+}
+
+TEST(Correlate, MisalignedIsLow) {
+  util::Rng rng(5);
+  const auto w = random_signal(32, rng);
+  const auto noise = random_signal(100, rng);
+  const double c = normalized_correlation(noise, 10, w);
+  EXPECT_LT(c, 0.6);
+}
+
+TEST(Correlate, SlidingFindsOffset) {
+  util::Rng rng(6);
+  const auto w = random_signal(32, rng);
+  std::vector<cdouble> stream = random_signal(200, rng);
+  for (auto& v : stream) v *= 0.05;  // weak noise floor
+  for (std::size_t i = 0; i < w.size(); ++i) stream[77 + i] += w[i];
+  const auto corr = sliding_correlation(stream, w);
+  EXPECT_EQ(argmax(corr), 77u);
+}
+
+TEST(Correlate, OutOfRangeIsZero) {
+  const std::vector<cdouble> w(32, {1.0, 0.0});
+  const std::vector<cdouble> s(16, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(normalized_correlation(s, 0, w), 0.0);
+}
+
+TEST(Correlate, AutocorrelationDetectsPeriodicity) {
+  util::Rng rng(7);
+  // Period-16 signal.
+  const auto period = random_signal(16, rng);
+  std::vector<cdouble> x;
+  for (int rep = 0; rep < 6; ++rep) x.insert(x.end(), period.begin(), period.end());
+  EXPECT_NEAR(autocorrelation_metric(x, 0, 16), 1.0, 1e-9);
+  // Aperiodic noise.
+  const auto noise = random_signal(96, rng);
+  EXPECT_LT(autocorrelation_metric(noise, 0, 16), 0.7);
+}
+
+TEST(Signal, WindowPower) {
+  std::vector<cdouble> x(10, {2.0, 0.0});
+  EXPECT_DOUBLE_EQ(window_power(x, 0, 10), 4.0);
+  EXPECT_DOUBLE_EQ(window_power(x, 8, 10), 4.0);  // truncates
+  EXPECT_DOUBLE_EQ(window_power(x, 10, 5), 0.0);
+}
+
+TEST(Signal, MixIntoGrowsAndAdds) {
+  Samples a = {{1, 0}, {1, 0}};
+  Samples b = {{2, 0}, {2, 0}, {2, 0}};
+  mix_into(a, b, 1);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], (cdouble{1, 0}));
+  EXPECT_EQ(a[1], (cdouble{3, 0}));
+  EXPECT_EQ(a[3], (cdouble{2, 0}));
+}
+
+TEST(Signal, ScaleToPower) {
+  util::Rng rng(8);
+  auto x = random_signal(500, rng);
+  x = scale_to_power(std::move(x), 3.0);
+  EXPECT_NEAR(mean_power(x), 3.0, 1e-9);
+}
+
+TEST(Signal, CfoAppliesLinearPhase) {
+  std::vector<cdouble> x(100, {1.0, 0.0});
+  const double f = 0.01;
+  const auto y = apply_cfo(x, f, 0);
+  // Phase at sample t should be 2*pi*f*t.
+  const double expected = 2.0 * std::numbers::pi * f * 50;
+  EXPECT_NEAR(std::arg(y[50]), std::remainder(expected, 2 * std::numbers::pi),
+              1e-9);
+  EXPECT_NEAR(std::abs(y[50]), 1.0, 1e-12);
+}
+
+TEST(Signal, CfoPhaseContinuityAcrossFragments) {
+  std::vector<cdouble> x(64, {1.0, 0.0});
+  const double f = 0.037;
+  const auto whole = apply_cfo(x, f, 0);
+  std::vector<cdouble> first(x.begin(), x.begin() + 32);
+  std::vector<cdouble> second(x.begin() + 32, x.end());
+  const auto a = apply_cfo(first, f, 0);
+  const auto b = apply_cfo(second, f, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(whole[i] - a[i]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(whole[32 + i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Signal, ConvolveKnownValues) {
+  const Samples x = {{1, 0}, {2, 0}, {3, 0}};
+  const Samples h = {{1, 0}, {-1, 0}};
+  const Samples y = convolve(x, h);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_EQ(y[0], (cdouble{1, 0}));
+  EXPECT_EQ(y[1], (cdouble{1, 0}));
+  EXPECT_EQ(y[2], (cdouble{1, 0}));
+  EXPECT_EQ(y[3], (cdouble{-3, 0}));
+}
+
+TEST(Signal, DelayPrependsZeros) {
+  const Samples x = {{1, 0}};
+  const Samples y = delay(x, 3);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_EQ(y[0], (cdouble{0, 0}));
+  EXPECT_EQ(y[3], (cdouble{1, 0}));
+}
+
+}  // namespace
+}  // namespace nplus::dsp

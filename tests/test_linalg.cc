@@ -1,0 +1,330 @@
+// Tests for the complex linear-algebra substrate: matrix algebra,
+// decompositions (LU/QR/SVD), null spaces, orthogonal complements and
+// projections. Property-style checks run over randomized matrices of every
+// size the MIMO code uses (parameterized suites).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decomp.h"
+#include "linalg/mat.h"
+#include "linalg/subspace.h"
+#include "util/rng.h"
+
+namespace nplus::linalg {
+namespace {
+
+CMat random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  CMat m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.cgaussian(1.0);
+  }
+  return m;
+}
+
+bool is_identity(const CMat& m, double tol = 1e-9) {
+  if (m.rows() != m.cols()) return false;
+  return max_abs_diff(m, CMat::identity(m.rows())) < tol;
+}
+
+TEST(CVec, NormAndDot) {
+  CVec v{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  CVec u{{1.0, 0.0}, {0.0, 0.0}};
+  EXPECT_EQ(dot(u, v), (cdouble{3.0, 0.0}));
+  // Hermitian: <v,u> = conj(<u,v>).
+  EXPECT_EQ(dot(v, u), std::conj(dot(u, v)));
+}
+
+TEST(CVec, NormalizedUnitNorm) {
+  util::Rng rng(1);
+  CVec v(5);
+  for (std::size_t i = 0; i < 5; ++i) v[i] = rng.cgaussian();
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(CMat, ArithmeticAndTranspose) {
+  CMat a{{{1, 1}, {2, 0}}, {{0, -1}, {3, 2}}};
+  const CMat ah = a.hermitian();
+  EXPECT_EQ(ah(0, 0), (cdouble{1, -1}));
+  EXPECT_EQ(ah(1, 0), (cdouble{2, 0}));
+  const CMat at = a.transpose();
+  EXPECT_EQ(at(0, 1), (cdouble{0, -1}));
+  EXPECT_EQ(at(1, 0), (cdouble{2, 0}));
+  // (A^H)^H == A
+  EXPECT_LT(max_abs_diff(ah.hermitian(), a), 1e-15);
+}
+
+TEST(CMat, MultiplyIdentity) {
+  util::Rng rng(2);
+  const CMat a = random_matrix(3, 3, rng);
+  EXPECT_LT(max_abs_diff(a * CMat::identity(3), a), 1e-12);
+  EXPECT_LT(max_abs_diff(CMat::identity(3) * a, a), 1e-12);
+}
+
+TEST(CMat, MultiplyAssociative) {
+  util::Rng rng(3);
+  const CMat a = random_matrix(2, 3, rng);
+  const CMat b = random_matrix(3, 4, rng);
+  const CMat c = random_matrix(4, 2, rng);
+  EXPECT_LT(max_abs_diff((a * b) * c, a * (b * c)), 1e-10);
+}
+
+TEST(CMat, StackAndBlock) {
+  util::Rng rng(4);
+  const CMat a = random_matrix(2, 3, rng);
+  const CMat b = random_matrix(1, 3, rng);
+  const CMat v = a.vstack(b);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_LT(max_abs_diff(v.block(0, 2, 0, 3), a), 1e-15);
+  EXPECT_LT(max_abs_diff(v.block(2, 3, 0, 3), b), 1e-15);
+
+  const CMat c = random_matrix(2, 2, rng);
+  const CMat h = a.hstack(c);
+  EXPECT_EQ(h.cols(), 5u);
+  EXPECT_LT(max_abs_diff(h.block(0, 2, 3, 5), c), 1e-15);
+}
+
+TEST(CMat, HstackWithEmpty) {
+  CMat empty(3, 0);
+  util::Rng rng(5);
+  const CMat a = random_matrix(3, 2, rng);
+  EXPECT_LT(max_abs_diff(empty.hstack(a), a), 1e-15);
+  EXPECT_LT(max_abs_diff(a.hstack(empty), a), 1e-15);
+}
+
+// --- Parameterized decomposition properties over sizes -------------------
+
+class SquareDecomp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquareDecomp, LuSolveRecoversSolution) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const CMat a = random_matrix(n, n, rng);
+    CVec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = rng.cgaussian();
+    const CVec b = a * x;
+    const auto sol = solve(a, b);
+    ASSERT_TRUE(sol.has_value());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs((*sol)[i] - x[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST_P(SquareDecomp, InverseTimesSelfIsIdentity) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(200 + GetParam());
+  const CMat a = random_matrix(n, n, rng);
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(is_identity(a * (*inv), 1e-8));
+  EXPECT_TRUE(is_identity((*inv) * a, 1e-8));
+}
+
+TEST_P(SquareDecomp, DeterminantMatchesProduct) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(300 + GetParam());
+  const CMat a = random_matrix(n, n, rng);
+  const CMat b = random_matrix(n, n, rng);
+  // det(AB) = det(A) det(B)
+  const cdouble lhs = determinant(a * b);
+  const cdouble rhs = determinant(a) * determinant(b);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-6 * std::max(1.0, std::abs(rhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SquareDecomp, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Lu, SingularDetected) {
+  CMat a{{{1, 0}, {2, 0}}, {{2, 0}, {4, 0}}};  // rank 1
+  EXPECT_FALSE(solve(a, CVec{{1, 0}, {0, 0}}).has_value());
+  EXPECT_NEAR(std::abs(determinant(a)), 0.0, 1e-12);
+}
+
+struct QrCase {
+  int rows;
+  int cols;
+};
+
+class QrSuite : public ::testing::TestWithParam<QrCase> {};
+
+TEST_P(QrSuite, FactorizationProperties) {
+  const auto [rows, cols] = GetParam();
+  util::Rng rng(400 + rows * 10 + cols);
+  const CMat a =
+      random_matrix(static_cast<std::size_t>(rows),
+                    static_cast<std::size_t>(cols), rng);
+
+  const Qr f = qr_full(a);
+  // Q unitary.
+  EXPECT_TRUE(is_identity(f.q.hermitian() * f.q, 1e-9));
+  // A == Q R.
+  EXPECT_LT(max_abs_diff(f.q * f.r, a), 1e-9);
+  // R upper triangular.
+  for (std::size_t r = 0; r < f.r.rows(); ++r) {
+    for (std::size_t c = 0; c < std::min<std::size_t>(r, f.r.cols()); ++c) {
+      EXPECT_NEAR(std::abs(f.r(r, c)), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST_P(QrSuite, SvdProperties) {
+  const auto [rows, cols] = GetParam();
+  util::Rng rng(500 + rows * 10 + cols);
+  const CMat a =
+      random_matrix(static_cast<std::size_t>(rows),
+                    static_cast<std::size_t>(cols), rng);
+  const Svd d = svd(a);
+  const std::size_t t = std::min(a.rows(), a.cols());
+  ASSERT_EQ(d.s.size(), t);
+  // Singular values nonnegative, descending.
+  for (std::size_t i = 0; i + 1 < t; ++i) {
+    EXPECT_GE(d.s[i], d.s[i + 1]);
+  }
+  EXPECT_GE(d.s.back(), 0.0);
+  // U, V have orthonormal columns.
+  EXPECT_TRUE(is_identity(d.u.hermitian() * d.u, 1e-9));
+  EXPECT_TRUE(is_identity(d.v.hermitian() * d.v, 1e-9));
+  // A == U S V^H.
+  CMat us = d.u;
+  for (std::size_t c = 0; c < t; ++c) {
+    for (std::size_t r = 0; r < us.rows(); ++r) us(r, c) *= d.s[c];
+  }
+  EXPECT_LT(max_abs_diff(us * d.v.hermitian(), a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrSuite,
+                         ::testing::Values(QrCase{1, 1}, QrCase{2, 2},
+                                           QrCase{3, 3}, QrCase{4, 4},
+                                           QrCase{3, 2}, QrCase{2, 3},
+                                           QrCase{4, 2}, QrCase{2, 4},
+                                           QrCase{6, 3}));
+
+TEST(Pinv, MoorePenroseConditions) {
+  util::Rng rng(7);
+  const CMat a = random_matrix(3, 2, rng);
+  const CMat p = pinv(a);
+  EXPECT_LT(max_abs_diff(a * p * a, a), 1e-9);
+  EXPECT_LT(max_abs_diff(p * a * p, p), 1e-9);
+}
+
+TEST(Pinv, InverseForSquareFullRank) {
+  util::Rng rng(8);
+  const CMat a = random_matrix(3, 3, rng);
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_LT(max_abs_diff(pinv(a), *inv), 1e-7);
+}
+
+TEST(Cond, IdentityIsOne) {
+  EXPECT_NEAR(cond(CMat::identity(4)), 1.0, 1e-9);
+}
+
+TEST(Cond, SingularIsInfinite) {
+  CMat a{{{1, 0}, {1, 0}}, {{1, 0}, {1, 0}}};
+  EXPECT_TRUE(std::isinf(cond(a)));
+}
+
+// --- Subspaces -----------------------------------------------------------
+
+class ComplementSuite : public ::testing::TestWithParam<QrCase> {};
+
+TEST_P(ComplementSuite, ComplementIsOrthogonalAndComplete) {
+  const auto [n, k] = GetParam();
+  if (k > n) GTEST_SKIP();
+  util::Rng rng(600 + n * 10 + k);
+  const CMat a =
+      random_matrix(static_cast<std::size_t>(n), static_cast<std::size_t>(k),
+                    rng);
+  const CMat w = orthogonal_complement(a);
+  EXPECT_EQ(w.rows(), static_cast<std::size_t>(n));
+  EXPECT_EQ(w.cols(), static_cast<std::size_t>(n - k));
+  // w^H a == 0.
+  if (w.cols() > 0 && a.cols() > 0) {
+    EXPECT_LT((w.hermitian() * a).max_abs(), 1e-9);
+  }
+  // Orthonormal columns.
+  EXPECT_TRUE(is_identity(w.hermitian() * w, 1e-9));
+}
+
+TEST_P(ComplementSuite, NullSpaceAnnihilates) {
+  const auto [m, k] = GetParam();  // k x m constraint matrix, k < m
+  if (k >= m) GTEST_SKIP();
+  util::Rng rng(700 + m * 10 + k);
+  const CMat a =
+      random_matrix(static_cast<std::size_t>(k), static_cast<std::size_t>(m),
+                    rng);
+  const CMat ns = null_space(a);
+  EXPECT_EQ(ns.cols(), static_cast<std::size_t>(m - k));
+  EXPECT_LT((a * ns).max_abs(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ComplementSuite,
+                         ::testing::Values(QrCase{2, 1}, QrCase{3, 1},
+                                           QrCase{3, 2}, QrCase{4, 1},
+                                           QrCase{4, 2}, QrCase{4, 3}));
+
+TEST(Complement, EmptyInputGivesIdentity) {
+  const CMat w = orthogonal_complement(CMat(3, 0));
+  EXPECT_TRUE(is_identity(w, 1e-12));
+}
+
+TEST(Complement, RankDeficientInput) {
+  // Two identical columns: complement should be 3 - 1 = 2 dimensional.
+  util::Rng rng(9);
+  CVec v(3);
+  for (int i = 0; i < 3; ++i) v[size_t(i)] = rng.cgaussian();
+  const CMat a = from_cols({v, v});
+  const CMat w = orthogonal_complement(a);
+  EXPECT_EQ(w.cols(), 2u);
+  EXPECT_LT((w.hermitian() * a).max_abs(), 1e-9);
+}
+
+TEST(Projection, RemovesSubspaceComponent) {
+  util::Rng rng(10);
+  const CMat a = random_matrix(3, 1, rng);
+  const CMat basis = orthonormal_basis(a);
+  const CVec y = a.col(0);  // entirely inside the subspace
+  const CVec coords =
+      coordinates_in(orthogonal_complement(basis), y);
+  EXPECT_NEAR(CVec(coords).norm(), 0.0, 1e-9);
+}
+
+TEST(Projection, PreservesOrthogonalComponent) {
+  util::Rng rng(11);
+  const CMat a = random_matrix(3, 1, rng);
+  const CMat w = orthogonal_complement(a);
+  const CVec z = w.col(0);  // in the complement
+  const CVec back = project_onto(w, z);
+  EXPECT_NEAR((back - z).norm(), 0.0, 1e-9);
+}
+
+TEST(PrincipalAngle, IdenticalSubspacesZero) {
+  util::Rng rng(12);
+  const CMat a = random_matrix(4, 2, rng);
+  const CMat b1 = orthonormal_basis(a);
+  // Same space, different basis (multiply by a random unitary via QR).
+  const Qr f = qr_full(random_matrix(2, 2, rng));
+  const CMat b2 = b1 * f.q;
+  EXPECT_NEAR(principal_angle(b1, b2), 0.0, 1e-6);
+}
+
+TEST(PrincipalAngle, OrthogonalSubspacesPiHalf) {
+  CMat e1(3, 1), e2(3, 1);
+  e1(0, 0) = 1.0;
+  e2(1, 0) = 1.0;
+  EXPECT_NEAR(principal_angle(e1, e2), M_PI / 2.0, 1e-9);
+}
+
+TEST(ContainsSubspace, DetectsContainment) {
+  util::Rng rng(13);
+  const CMat a = random_matrix(4, 2, rng);
+  const CMat basis = orthonormal_basis(a);
+  EXPECT_TRUE(contains_subspace(basis, a));
+  const CMat other = random_matrix(4, 1, rng);
+  EXPECT_FALSE(contains_subspace(basis, other));
+}
+
+}  // namespace
+}  // namespace nplus::linalg

@@ -1,0 +1,267 @@
+// Tests for the MAC layer: event kernel, DCF backoff, the n+ two-level
+// contention (all four Fig. 5 scenarios), and airtime/handshake accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mac/airtime.h"
+#include "mac/contention.h"
+#include "mac/dcf.h"
+#include "mac/event_sim.h"
+#include "util/rng.h"
+
+namespace nplus::mac {
+namespace {
+
+TEST(EventSim, RunsInTimeOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(EventSim, FifoTieBreak) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventSim, NestedScheduling) {
+  EventSim sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.schedule_in(0.5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(EventSim, RunUntilStops) {
+  EventSim sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Backoff, CounterWithinWindow) {
+  util::Rng rng(1);
+  DcfConfig cfg;
+  for (int i = 0; i < 200; ++i) {
+    BackoffEntity b(cfg);
+    b.start_new_packet(rng);
+    EXPECT_GE(b.counter(), 0);
+    EXPECT_LE(b.counter(), cfg.cw_min);
+  }
+}
+
+TEST(Backoff, CollisionDoublesWindow) {
+  util::Rng rng(2);
+  BackoffEntity b;
+  b.start_new_packet(rng);
+  EXPECT_EQ(b.cw(), 15);
+  b.on_collision(rng);
+  EXPECT_EQ(b.cw(), 31);
+  b.on_collision(rng);
+  EXPECT_EQ(b.cw(), 63);
+  b.on_success(rng);
+  EXPECT_EQ(b.cw(), 15);
+}
+
+TEST(Backoff, WindowCapsAtCwMax) {
+  util::Rng rng(3);
+  BackoffEntity b;
+  b.start_new_packet(rng);
+  for (int i = 0; i < 12; ++i) b.on_collision(rng);
+  EXPECT_EQ(b.cw(), 1023);
+}
+
+TEST(Contend, SingleStationWinsImmediately) {
+  util::Rng rng(4);
+  const auto out = contend(1, rng);
+  EXPECT_EQ(out.winner, 0u);
+  EXPECT_EQ(out.collisions, 0);
+}
+
+TEST(Contend, WinnerRoughlyUniform) {
+  util::Rng rng(5);
+  std::map<std::size_t, int> wins;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) wins[contend(3, rng).winner]++;
+  for (const auto& [w, count] : wins) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 1.0 / 3.0, 0.05) << w;
+  }
+}
+
+TEST(Contend, TimeIncludesDifsAndSlots) {
+  util::Rng rng(6);
+  const phy::MacTiming timing;
+  const auto out = contend(2, rng, timing);
+  EXPECT_GE(out.elapsed_s, timing.difs_s);
+  EXPECT_NEAR(out.elapsed_s,
+              timing.difs_s * (1 + out.collisions) +
+                  out.idle_slots * timing.slot_s + out.collisions * 500e-6,
+              1e-9);
+}
+
+// --- n+ contention: the four Fig. 5 scenarios ----------------------------
+
+std::vector<Contender> three_pairs() {
+  return {{0, 1}, {1, 2}, {2, 3}};  // tx1, tx2, tx3 with 1/2/3 antennas
+}
+
+// Finds the contention result matching a forced winner order by seeding.
+TEST(NplusContention, Fig5aThreeAntennaWinnerTakesAll) {
+  // When tx3 (3 antennas) wins first, nobody else can add a stream.
+  util::Rng rng(7);
+  for (int seed = 0; seed < 200; ++seed) {
+    util::Rng r(seed);
+    const auto res = nplus_contention(three_pairs(), r);
+    EXPECT_EQ(res.total_streams, 3u);
+    if (res.winners[0].contender_id == 2) {
+      EXPECT_EQ(res.winners.size(), 1u);
+      EXPECT_EQ(res.winners[0].n_streams, 3u);
+    }
+  }
+}
+
+TEST(NplusContention, Fig5bTwoThenOne) {
+  for (int seed = 0; seed < 300; ++seed) {
+    util::Rng r(seed);
+    const auto res = nplus_contention(three_pairs(), r);
+    if (res.winners[0].contender_id != 1) continue;
+    // tx2 first: 2 streams; only tx3 can follow, with exactly 1 stream.
+    EXPECT_EQ(res.winners[0].n_streams, 2u);
+    ASSERT_EQ(res.winners.size(), 2u);
+    EXPECT_EQ(res.winners[1].contender_id, 2u);
+    EXPECT_EQ(res.winners[1].n_streams, 1u);
+    EXPECT_EQ(res.winners[1].dof_before, 2u);
+  }
+}
+
+TEST(NplusContention, Fig5cdSingleAntennaFirst) {
+  bool saw_c = false, saw_d = false;
+  for (int seed = 0; seed < 400; ++seed) {
+    util::Rng r(seed);
+    const auto res = nplus_contention(three_pairs(), r);
+    if (res.winners[0].contender_id != 0) continue;
+    EXPECT_EQ(res.winners[0].n_streams, 1u);
+    if (res.winners.size() == 2) {
+      // Fig 5(c): tx3 wins the secondary round with 2 streams.
+      EXPECT_EQ(res.winners[1].contender_id, 2u);
+      EXPECT_EQ(res.winners[1].n_streams, 2u);
+      saw_c = true;
+    } else {
+      // Fig 5(d): tx2 then tx3, one stream each.
+      ASSERT_EQ(res.winners.size(), 3u);
+      EXPECT_EQ(res.winners[1].contender_id, 1u);
+      EXPECT_EQ(res.winners[1].n_streams, 1u);
+      EXPECT_EQ(res.winners[2].contender_id, 2u);
+      EXPECT_EQ(res.winners[2].n_streams, 1u);
+      saw_d = true;
+    }
+  }
+  EXPECT_TRUE(saw_c);
+  EXPECT_TRUE(saw_d);
+}
+
+TEST(NplusContention, AlwaysFillsAllDof) {
+  // With a 3-antenna contender present, every outcome uses 3 streams
+  // (the paper's "as many DoF as the largest transmitter" claim).
+  for (int seed = 0; seed < 200; ++seed) {
+    util::Rng r(1000 + seed);
+    const auto res = nplus_contention(three_pairs(), r);
+    EXPECT_EQ(res.total_streams, 3u);
+  }
+}
+
+TEST(NplusContention, AdmissionHookVetoes) {
+  util::Rng rng(8);
+  // Veto every secondary join: only the first winner transmits.
+  const AdmissionHook veto = [](std::size_t, std::size_t used) {
+    return used == 0;
+  };
+  const auto res = nplus_contention(three_pairs(), rng, {}, {}, veto);
+  EXPECT_EQ(res.winners.size(), 1u);
+}
+
+TEST(RandomWinnerContention, SameDofRules) {
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto res = random_winner_contention(three_pairs(), rng);
+    EXPECT_EQ(res.total_streams, 3u);
+    std::size_t used = 0;
+    for (const auto& w : res.winners) {
+      EXPECT_EQ(w.dof_before, used);
+      used += w.n_streams;
+    }
+  }
+}
+
+TEST(Dot11nContention, SingleWinnerUsesOwnAntennas) {
+  util::Rng rng(10);
+  std::map<std::size_t, int> wins;
+  for (int i = 0; i < 3000; ++i) {
+    const auto res = dot11n_contention(three_pairs(), rng);
+    ASSERT_EQ(res.winners.size(), 1u);
+    const auto& w = res.winners[0];
+    EXPECT_EQ(w.n_streams, w.contender_id + 1);  // antennas == id + 1 here
+    wins[w.contender_id]++;
+  }
+  for (const auto& [id, count] : wins) {
+    EXPECT_NEAR(count / 3000.0, 1.0 / 3.0, 0.05) << id;
+  }
+}
+
+// --- Airtime accounting ---------------------------------------------------
+
+TEST(Airtime, PreambleGrowsWithStreams) {
+  AirtimeConfig cfg;
+  const double p1 = preamble_s(cfg, 1);
+  const double p3 = preamble_s(cfg, 3);
+  // One extra LTF (160 samples = 16 us at 10 MHz) per extra stream.
+  EXPECT_NEAR(p3 - p1, 2 * 16e-6, 1e-9);
+}
+
+TEST(Airtime, BodyMatchesSymbolCount) {
+  AirtimeConfig cfg;
+  const phy::Mcs& mcs = phy::mcs_by_index(5);
+  const double body = body_s(cfg, mcs, 1500, 1);
+  EXPECT_NEAR(body, 84 * 8e-6, 1e-9);
+}
+
+TEST(Airtime, HandshakeOverheadNearPaperEstimate) {
+  // §3.5: "about 4% overhead for a 1500-byte packet at 18 Mb/s".
+  AirtimeConfig cfg;
+  const double f =
+      handshake_overhead_fraction(cfg, phy::mcs_by_index(5), 1500);
+  EXPECT_GT(f, 0.02);
+  EXPECT_LT(f, 0.15);
+}
+
+TEST(Airtime, ExchangeLongerAtLowerRates) {
+  AirtimeConfig cfg;
+  const double slow = dot11n_exchange_s(cfg, phy::mcs_by_index(0), 1500, 1);
+  const double fast = dot11n_exchange_s(cfg, phy::mcs_by_index(7), 1500, 1);
+  EXPECT_GT(slow, 3.0 * fast);
+}
+
+TEST(Airtime, MoreStreamsShorterBody) {
+  AirtimeConfig cfg;
+  const phy::Mcs& mcs = phy::mcs_by_index(4);
+  EXPECT_LT(body_s(cfg, mcs, 1500, 3), body_s(cfg, mcs, 1500, 1) / 2.5);
+}
+
+}  // namespace
+}  // namespace nplus::mac

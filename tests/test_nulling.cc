@@ -1,0 +1,406 @@
+// Tests for the paper's core contribution: nulling/alignment precoders
+// (Claims 3.1-3.5), multi-dimensional carrier sense (§3.2), alignment-space
+// compression (§3.5), and the L-threshold admission rule (§4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decomp.h"
+#include "linalg/subspace.h"
+#include "nulling/admission.h"
+#include "nulling/carrier_sense.h"
+#include "nulling/compression.h"
+#include "nulling/precoder.h"
+#include "dsp/correlate.h"
+#include "phy/preamble.h"
+#include "util/stats.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nplus::nulling {
+namespace {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::cdouble;
+
+CMat random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  CMat m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.cgaussian(1.0);
+  }
+  return m;
+}
+
+TEST(Precoder, MaxJoinStreamsClaim32) {
+  // Claim 3.2: m = M - K.
+  EXPECT_EQ(max_join_streams(3, 0), 3u);
+  EXPECT_EQ(max_join_streams(3, 1), 2u);
+  EXPECT_EQ(max_join_streams(3, 2), 1u);
+  EXPECT_EQ(max_join_streams(3, 3), 0u);
+  EXPECT_EQ(max_join_streams(1, 2), 0u);
+}
+
+TEST(Precoder, PaperFig2NullingExample) {
+  // §2: tx2 (2 antennas) nulls at single-antenna rx1 by sending (q, alpha*q)
+  // with alpha = -h21/h31. Our precoder must find a scalar multiple of
+  // (1, alpha).
+  util::Rng rng(1);
+  CMat h(1, 2);
+  h(0, 0) = rng.cgaussian();  // h21
+  h(0, 1) = rng.cgaussian();  // h31
+  const auto pre =
+      compute_join_precoder(2, {make_null_constraint(h)}, 1);
+  ASSERT_TRUE(pre.has_value());
+  const CVec v = pre->v.col(0);
+  // Null holds.
+  EXPECT_NEAR(std::abs(h(0, 0) * v[0] + h(0, 1) * v[1]), 0.0, 1e-10);
+  // Matches the analytic alpha.
+  const cdouble alpha = -h(0, 0) / h(0, 1);
+  EXPECT_NEAR(std::abs(v[1] / v[0] - alpha), 0.0, 1e-9);
+}
+
+TEST(Precoder, NullingAtFullyLoadedTwoAntennaRxConsumesTwoDof) {
+  // Fig. 5(b): tx3 (3 antennas) nulls at rx2's two antennas -> one stream
+  // left.
+  util::Rng rng(2);
+  const CMat h = random_matrix(2, 3, rng);
+  const auto pre =
+      compute_join_precoder(3, {make_null_constraint(h)}, 1);
+  ASSERT_TRUE(pre.has_value());
+  EXPECT_EQ(pre->v.cols(), 1u);
+  EXPECT_LT((h * pre->v).max_abs(), 1e-9);
+  // Asking for two streams must fail: only 3 - 2 = 1 DoF left.
+  EXPECT_FALSE(
+      compute_join_precoder(3, {make_null_constraint(h)}, 2).has_value());
+}
+
+TEST(Precoder, PaperSection2NullingAloneInsufficient) {
+  // §2 Eq. 2: nulling at three antennas consumes all three of tx3's
+  // antennas — no nonzero precoder exists.
+  util::Rng rng(3);
+  const CMat h_rx1 = random_matrix(1, 3, rng);
+  const CMat h_rx2 = random_matrix(2, 3, rng);
+  const auto pre = compute_join_precoder(
+      3, {make_null_constraint(h_rx1), make_null_constraint(h_rx2)}, 1);
+  EXPECT_FALSE(pre.has_value());
+}
+
+TEST(Precoder, PaperSection2NullPlusAlignSucceeds) {
+  // §2 Eq. 4: null at rx1 (1 row) + align at rx2 (1 row) leaves tx3 one
+  // stream, and the interference at rx2 lands exactly along tx1's direction.
+  util::Rng rng(4);
+  const CMat h_t1_r2 = random_matrix(2, 1, rng);  // tx1's channel at rx2
+  const CMat h_t3_r1 = random_matrix(1, 3, rng);
+  const CMat h_t3_r2 = random_matrix(2, 3, rng);
+
+  // rx2 wants to protect the direction orthogonal to tx1's interference.
+  const CMat unwanted = linalg::orthonormal_basis(h_t1_r2);
+  const CMat wanted_rows = linalg::orthogonal_complement(unwanted).hermitian();
+
+  const auto pre = compute_join_precoder(
+      3,
+      {make_null_constraint(h_t3_r1),
+       make_align_constraint(h_t3_r2, wanted_rows)},
+      1);
+  ASSERT_TRUE(pre.has_value());
+  const CVec v = pre->v.col(0);
+
+  // Null at rx1.
+  EXPECT_LT((h_t3_r1 * pre->v).max_abs(), 1e-9);
+  // At rx2, tx3's signal is parallel to tx1's (aligned): Eq. 4's statement
+  // (h42' v)/h12 == (h43' v)/h13.
+  const CVec at_rx2 = h_t3_r2 * v;
+  const cdouble ratio0 = at_rx2[0] / h_t1_r2(0, 0);
+  const cdouble ratio1 = at_rx2[1] / h_t1_r2(1, 0);
+  EXPECT_NEAR(std::abs(ratio0 - ratio1), 0.0,
+              1e-8 * std::max(1.0, std::abs(ratio0)));
+}
+
+TEST(Precoder, ResidualInterferenceZeroWithPerfectCsi) {
+  util::Rng rng(5);
+  const OngoingReceiver rx = make_null_constraint(random_matrix(2, 3, rng));
+  const auto pre = compute_join_precoder(3, {rx}, 1);
+  ASSERT_TRUE(pre.has_value());
+  EXPECT_NEAR(residual_interference(rx, pre->v.col(0)), 0.0, 1e-18);
+}
+
+TEST(Precoder, ResidualGrowsWithCsiError) {
+  util::Rng rng(6);
+  util::RunningStats res_small, res_large;
+  for (int i = 0; i < 50; ++i) {
+    const CMat h_true = random_matrix(1, 2, rng);
+    for (double err_std : {0.01, 0.1}) {
+      CMat h_est = h_true;
+      for (std::size_t c = 0; c < 2; ++c) {
+        h_est(0, c) += rng.cgaussian(err_std * err_std);
+      }
+      const auto pre =
+          compute_join_precoder(2, {make_null_constraint(h_est)}, 1);
+      ASSERT_TRUE(pre.has_value());
+      const double r = residual_interference(
+          make_null_constraint(h_true), pre->v.col(0));
+      (err_std < 0.05 ? res_small : res_large).add(r);
+    }
+  }
+  EXPECT_LT(res_small.mean() * 10.0, res_large.mean());
+}
+
+TEST(Precoder, UnitPowerColumns) {
+  util::Rng rng(7);
+  const auto pre = compute_join_precoder(
+      3, {make_null_constraint(random_matrix(1, 3, rng))}, 2);
+  ASSERT_TRUE(pre.has_value());
+  for (std::size_t c = 0; c < pre->v.cols(); ++c) {
+    EXPECT_NEAR(pre->v.col(c).norm(), 1.0, 1e-10);
+  }
+}
+
+TEST(Precoder, MultiRxFig4Scenario) {
+  // Fig. 4: 3-antenna AP2 sends p2 to c2 and p3 to c3 (2-antenna clients)
+  // while aligning both packets with c1's interference at the clients and
+  // keeping them out of AP1's wanted direction.
+  util::Rng rng(8);
+  const CMat h_c1_ap1 = random_matrix(2, 1, rng);   // wanted at AP1
+  const CMat h_ap2_ap1 = random_matrix(2, 3, rng);
+  const CMat h_c1_c2 = random_matrix(2, 1, rng);    // interference at c2
+  const CMat h_c1_c3 = random_matrix(2, 1, rng);
+  const CMat h_ap2_c2 = random_matrix(2, 3, rng);
+  const CMat h_ap2_c3 = random_matrix(2, 3, rng);
+
+  // AP1 wants c1's signal: its wanted rows span the direction that keeps
+  // c1 decodable; its unwanted space is the complement.
+  const CMat ap1_wanted =
+      linalg::orthonormal_basis(h_c1_ap1).hermitian();  // 1 x 2
+
+  // Each client's unwanted space contains c1's interference.
+  auto wanted_rows_for = [](const CMat& intf) {
+    return linalg::orthogonal_complement(linalg::orthonormal_basis(intf))
+        .hermitian();
+  };
+  const CMat c2_rows = wanted_rows_for(h_c1_c2);
+  const CMat c3_rows = wanted_rows_for(h_c1_c3);
+
+  std::vector<OngoingReceiver> ongoing = {
+      make_align_constraint(h_ap2_ap1, ap1_wanted)};
+  std::vector<OwnReceiver> own = {
+      OwnReceiver{h_ap2_c2, c2_rows, {0}},
+      OwnReceiver{h_ap2_c3, c3_rows, {1}},
+  };
+  const auto pre = compute_multi_rx_precoder(3, ongoing, own);
+  ASSERT_TRUE(pre.has_value());
+  EXPECT_EQ(pre->v.cols(), 2u);
+
+  // No interference inside AP1's wanted direction.
+  EXPECT_LT((ap1_wanted * (h_ap2_ap1 * pre->v)).max_abs(), 1e-8);
+  // Stream 1 (for c3) invisible in c2's wanted direction, and vice versa.
+  const CMat at_c2 = c2_rows * (h_ap2_c2 * pre->v);
+  const CMat at_c3 = c3_rows * (h_ap2_c3 * pre->v);
+  EXPECT_LT(std::abs(at_c2(0, 1)), 1e-8);
+  EXPECT_LT(std::abs(at_c3(0, 0)), 1e-8);
+  // Each stream reaches its own client.
+  EXPECT_GT(std::abs(at_c2(0, 0)), 1e-3);
+  EXPECT_GT(std::abs(at_c3(0, 1)), 1e-3);
+}
+
+TEST(Precoder, MultiRxRejectsOverconstrained) {
+  util::Rng rng(9);
+  // 2 antennas cannot satisfy 2 ongoing rows + 1 own stream.
+  std::vector<OngoingReceiver> ongoing = {
+      make_null_constraint(random_matrix(2, 2, rng))};
+  std::vector<OwnReceiver> own = {
+      OwnReceiver{random_matrix(1, 2, rng), CMat::identity(1), {0}}};
+  EXPECT_FALSE(compute_multi_rx_precoder(2, ongoing, own).has_value());
+}
+
+// --- Multi-dimensional carrier sense -------------------------------------
+
+TEST(CarrierSense, ProjectionRemovesOccupiedSignal) {
+  util::Rng rng(10);
+  // 3-antenna node, one ongoing transmission along a random channel vector.
+  const CMat h = random_matrix(3, 1, rng);
+  const std::size_t n = 500;
+  std::vector<Samples> rx(3, Samples(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    const cdouble p = rng.cgaussian();
+    for (std::size_t a = 0; a < 3; ++a) rx[a][t] = h(a, 0) * p;
+  }
+  const CMat occupied = occupied_subspace_from_channels(h);
+  const auto proj = project_out(rx, occupied);
+  ASSERT_EQ(proj.size(), 2u);
+  for (const auto& s : proj) {
+    EXPECT_LT(nplus::dsp::window_power(s, 0, n), 1e-18);
+  }
+}
+
+TEST(CarrierSense, ProjectionKeepsNewSignalVisible) {
+  util::Rng rng(11);
+  const CMat h1 = random_matrix(3, 1, rng);
+  const CMat h2 = random_matrix(3, 1, rng);
+  const std::size_t n = 2000;
+  std::vector<Samples> rx(3, Samples(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    const cdouble p = rng.cgaussian();
+    const cdouble q = rng.cgaussian(0.01);  // 20 dB weaker
+    for (std::size_t a = 0; a < 3; ++a) {
+      rx[a][t] = h1(a, 0) * p + h2(a, 0) * q;
+    }
+  }
+  const auto proj = project_out(rx, occupied_subspace_from_channels(h1));
+  double p = 0.0;
+  for (const auto& s : proj) p += nplus::dsp::window_power(s, 0, n);
+  // The weak signal survives with its full (projected) power, far above
+  // numerical zero: the second DoF is sensed as busy.
+  EXPECT_GT(p, 1e-4);
+}
+
+TEST(CarrierSense, BlindSubspaceEstimateFindsRankOne) {
+  util::Rng rng(12);
+  const CMat h = random_matrix(3, 1, rng);
+  const std::size_t n = 3000;
+  const double noise = 1e-4;
+  std::vector<Samples> rx(3, Samples(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    const cdouble p = rng.cgaussian();
+    for (std::size_t a = 0; a < 3; ++a) {
+      rx[a][t] = h(a, 0) * p + rng.cgaussian(noise);
+    }
+  }
+  const CMat est = estimate_occupied_subspace(rx, 0, n, noise);
+  EXPECT_EQ(est.cols(), 1u);
+  // Estimated direction matches the true channel direction.
+  const CMat truth = linalg::orthonormal_basis(h);
+  EXPECT_LT(linalg::principal_angle(est, truth), 0.05);
+}
+
+TEST(CarrierSense, DetectorThresholds) {
+  util::Rng rng(13);
+  const phy::Samples preamble = phy::stf_time();
+  CarrierSenseConfig cfg;
+  cfg.power_threshold = 0.01;
+
+  // Idle medium: noise only.
+  std::vector<Samples> idle(1, Samples(1000));
+  for (auto& v : idle[0]) v = rng.cgaussian(1e-4);
+  const auto r_idle = carrier_sense(idle, 0, preamble, cfg);
+  EXPECT_FALSE(r_idle.busy());
+
+  // A real preamble at healthy power.
+  std::vector<Samples> busy(1, Samples(1000));
+  for (std::size_t i = 0; i < preamble.size(); ++i) {
+    busy[0][100 + i] = preamble[i];
+  }
+  for (auto& v : busy[0]) v += rng.cgaussian(1e-4);
+  const auto r_busy = carrier_sense(busy, 100, preamble, cfg);
+  EXPECT_TRUE(r_busy.busy_power);
+  EXPECT_TRUE(r_busy.busy_correlation);
+}
+
+// --- Alignment-space compression (§3.5) ----------------------------------
+
+std::vector<CMat> random_smooth_bases(util::Rng& rng, std::size_t n_ant = 2,
+                                      std::size_t dim = 1) {
+  // Build bases from a synthetic smooth channel (3 taps) like the real ones.
+  std::vector<Samples> taps(n_ant);
+  std::vector<CMat> bases(53);
+  std::vector<std::vector<cdouble>> tap_vals(n_ant);
+  for (auto& t : tap_vals) {
+    t = {rng.cgaussian(), rng.cgaussian(0.25), rng.cgaussian(0.06)};
+  }
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    CMat h(n_ant, dim);
+    for (std::size_t a = 0; a < n_ant; ++a) {
+      cdouble acc{0.0, 0.0};
+      const std::size_t bin = k >= 0 ? static_cast<std::size_t>(k)
+                                     : 64 - static_cast<std::size_t>(-k);
+      for (std::size_t l = 0; l < 3; ++l) {
+        const double ang = -2.0 * M_PI * static_cast<double>(bin * l) / 64.0;
+        acc += tap_vals[a][l] * cdouble{std::cos(ang), std::sin(ang)};
+      }
+      h(a, 0) = acc;
+    }
+    bases[static_cast<std::size_t>(k + 26)] = linalg::orthonormal_basis(h);
+  }
+  return bases;
+}
+
+TEST(Compression, ReconstructionAccurate) {
+  util::Rng rng(14);
+  const auto bases = random_smooth_bases(rng);
+  const CompressedAlignment out = compress_alignment(bases);
+  const double angle = max_reconstruction_angle(bases, out.reconstructed);
+  // Quantization-limited: well below the residual-error budget.
+  EXPECT_LT(angle, 0.06);
+}
+
+TEST(Compression, DifferentialBeatsRaw) {
+  util::Rng rng(15);
+  double diff_total = 0.0, raw_total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const auto bases = random_smooth_bases(rng);
+    diff_total += static_cast<double>(compress_alignment(bases).total_bits);
+    raw_total += static_cast<double>(raw_alignment_bits(bases));
+  }
+  EXPECT_LT(diff_total, 0.5 * raw_total);
+}
+
+TEST(Compression, PaperSizeAboutThreeSymbols) {
+  // §3.5: the alignment space compresses to ~3 OFDM symbols (at the data
+  // header's rate — the paper's example runs at 18 Mb/s -> 144 bits/sym).
+  util::Rng rng(16);
+  util::RunningStats syms;
+  for (int i = 0; i < 50; ++i) {
+    const auto bases = random_smooth_bases(rng);
+    const auto out = compress_alignment(bases);
+    syms.add(static_cast<double>(symbols_needed(out.total_bits, 144)));
+  }
+  EXPECT_GE(syms.mean(), 1.0);
+  EXPECT_LE(syms.mean(), 6.0);
+}
+
+TEST(Compression, EmptyBasesFree) {
+  const std::vector<CMat> empty(53);
+  const auto out = compress_alignment(empty);
+  EXPECT_EQ(out.total_bits, 0u);
+}
+
+TEST(Compression, SymbolsNeededCeils) {
+  EXPECT_EQ(symbols_needed(0, 144), 0u);
+  EXPECT_EQ(symbols_needed(1, 144), 1u);
+  EXPECT_EQ(symbols_needed(144, 144), 1u);
+  EXPECT_EQ(symbols_needed(145, 144), 2u);
+}
+
+// --- Admission / power control (§4) --------------------------------------
+
+TEST(Admission, JoinsWhenUnderLimit) {
+  const auto d = decide_join({15.0, 20.0}, 25.0);
+  EXPECT_TRUE(d.join);
+  EXPECT_DOUBLE_EQ(d.power_backoff_db, 0.0);
+  EXPECT_DOUBLE_EQ(d.own_snr_after_db, 25.0);
+}
+
+TEST(Admission, BacksOffAboveLimit) {
+  AdmissionConfig cfg;  // limit 27 dB
+  const auto d = decide_join({32.0, 20.0}, 25.0, cfg);
+  EXPECT_TRUE(d.join);
+  EXPECT_DOUBLE_EQ(d.power_backoff_db, -5.0);
+  EXPECT_DOUBLE_EQ(d.own_snr_after_db, 20.0);
+}
+
+TEST(Admission, DeclinesWhenBackoffKillsOwnLink) {
+  AdmissionConfig cfg;
+  const auto d = decide_join({45.0}, 15.0, cfg);  // needs -18 dB backoff
+  EXPECT_FALSE(d.join);
+  EXPECT_LT(d.own_snr_after_db, cfg.min_own_snr_db);
+}
+
+TEST(Admission, NoOngoingReceiversIsFree) {
+  const auto d = decide_join({}, 10.0);
+  EXPECT_TRUE(d.join);
+  EXPECT_DOUBLE_EQ(d.power_backoff_db, 0.0);
+}
+
+}  // namespace
+}  // namespace nplus::nulling

@@ -1,0 +1,465 @@
+// Tests for the bit-level PHY: CRC, scrambler, convolutional code +
+// Viterbi (all rates, error correction), interleaver, constellations,
+// MCS tables and effective-SNR rate selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/constellation.h"
+#include "phy/conv_code.h"
+#include "phy/crc.h"
+#include "phy/esnr.h"
+#include "phy/frame.h"
+#include "phy/interleaver.h"
+#include "phy/mcs.h"
+#include "phy/scrambler.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nplus::phy {
+namespace {
+
+Bits random_bits(std::size_t n, util::Rng& rng) {
+  Bits b(n);
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  return b;
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (standard check value).
+  const std::vector<std::uint8_t> data = {'1', '2', '3', '4', '5',
+                                          '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsSingleBitError) {
+  util::Rng rng(1);
+  std::vector<std::uint8_t> data(100);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  const std::uint32_t good = crc32(data);
+  for (int i = 0; i < 20; ++i) {
+    auto corrupted = data;
+    corrupted[rng.uniform_int(100u)] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_int(8u));
+    EXPECT_NE(crc32(corrupted), good);
+  }
+}
+
+TEST(Crc8, DetectsErrors) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  auto bad = data;
+  bad[2] ^= 0x10;
+  EXPECT_NE(crc8(data), crc8(bad));
+}
+
+TEST(Scrambler, SelfInverse) {
+  util::Rng rng(2);
+  const Bits data = random_bits(1000, rng);
+  EXPECT_EQ(descramble(scramble(data)), data);
+}
+
+TEST(Scrambler, Whitens) {
+  // All-zeros input should come out roughly balanced.
+  Bits zeros(127 * 4, 0);
+  const Bits s = scramble(zeros);
+  int ones = 0;
+  for (auto b : s) ones += b;
+  EXPECT_GT(ones, static_cast<int>(s.size()) / 3);
+  EXPECT_LT(ones, 2 * static_cast<int>(s.size()) / 3);
+}
+
+TEST(Scrambler, PeriodIs127) {
+  Scrambler s(0x5D);
+  std::vector<std::uint8_t> first;
+  for (int i = 0; i < 127; ++i) first.push_back(s.next_bit());
+  for (int i = 0; i < 127; ++i) EXPECT_EQ(s.next_bit(), first[size_t(i)]);
+}
+
+class ConvCodeSuite : public ::testing::TestWithParam<CodeRate> {};
+
+TEST_P(ConvCodeSuite, NoiselessRoundtrip) {
+  util::Rng rng(3);
+  const CodeRate rate = GetParam();
+  for (int trial = 0; trial < 5; ++trial) {
+    Bits data = random_bits(240, rng);
+    // Tail-terminate.
+    for (int i = 0; i < 6; ++i) data.push_back(0);
+    const Bits coded = conv_encode(data, rate);
+    EXPECT_EQ(coded.size(), coded_length(data.size(), rate));
+    const Bits decoded = viterbi_decode(coded, data.size(), rate);
+    EXPECT_EQ(decoded, data);
+  }
+}
+
+TEST_P(ConvCodeSuite, CorrectsScatteredBitErrors) {
+  util::Rng rng(4);
+  const CodeRate rate = GetParam();
+  Bits data = random_bits(480, rng);
+  for (int i = 0; i < 6; ++i) data.push_back(0);
+  Bits coded = conv_encode(data, rate);
+  // Flip a few well-separated coded bits (within correction ability).
+  const int n_errors = rate == CodeRate::kRate1_2 ? 8 : 3;
+  for (int e = 0; e < n_errors; ++e) {
+    coded[static_cast<std::size_t>(e) * coded.size() / n_errors] ^= 1u;
+  }
+  const Bits decoded = viterbi_decode(coded, data.size(), rate);
+  EXPECT_EQ(decoded, data);
+}
+
+TEST_P(ConvCodeSuite, SoftDecisionOutperformsAtModerateNoise) {
+  util::Rng rng(5);
+  const CodeRate rate = GetParam();
+  Bits data = random_bits(960, rng);
+  for (int i = 0; i < 6; ++i) data.push_back(0);
+  const Bits coded = conv_encode(data, rate);
+
+  // BPSK over AWGN at a moderate SNR.
+  const double sigma = 0.45;
+  std::vector<double> llr(coded.size());
+  Bits hard(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double tx = coded[i] ? -1.0 : 1.0;
+    const double y = tx + sigma * rng.gaussian();
+    llr[i] = 2.0 * y / (sigma * sigma);
+    hard[i] = y < 0.0 ? 1 : 0;
+  }
+  const Bits soft_dec = viterbi_decode_soft(llr, data.size(), rate);
+  const Bits hard_dec = viterbi_decode(hard, data.size(), rate);
+  int soft_err = 0, hard_err = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    soft_err += soft_dec[i] != data[i];
+    hard_err += hard_dec[i] != data[i];
+  }
+  EXPECT_LE(soft_err, hard_err);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ConvCodeSuite,
+                         ::testing::Values(CodeRate::kRate1_2,
+                                           CodeRate::kRate2_3,
+                                           CodeRate::kRate3_4));
+
+TEST(ConvCode, RateValues) {
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate1_2), 0.5);
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate2_3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate3_4), 0.75);
+}
+
+TEST(ConvCode, CodedLengthMatchesRate) {
+  EXPECT_EQ(coded_length(100, CodeRate::kRate1_2), 200u);
+  EXPECT_EQ(coded_length(100, CodeRate::kRate2_3), 150u);
+  EXPECT_EQ(coded_length(96, CodeRate::kRate3_4), 128u);
+}
+
+struct InterleaverCase {
+  std::size_t n_cbps;
+  std::size_t n_bpsc;
+};
+
+class InterleaverSuite : public ::testing::TestWithParam<InterleaverCase> {};
+
+TEST_P(InterleaverSuite, MapIsPermutation) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  const auto map = interleave_map(n_cbps, n_bpsc);
+  std::vector<bool> hit(n_cbps, false);
+  for (std::size_t j : map) {
+    ASSERT_LT(j, n_cbps);
+    EXPECT_FALSE(hit[j]);
+    hit[j] = true;
+  }
+}
+
+TEST_P(InterleaverSuite, Roundtrip) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  util::Rng rng(6);
+  const Bits data = random_bits(3 * n_cbps, rng);
+  EXPECT_EQ(deinterleave(interleave(data, n_cbps, n_bpsc), n_cbps, n_bpsc),
+            data);
+}
+
+TEST_P(InterleaverSuite, SpreadsAdjacentBits) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  const auto map = interleave_map(n_cbps, n_bpsc);
+  // Adjacent coded bits must land on different subcarriers.
+  for (std::size_t k = 0; k + 1 < n_cbps; ++k) {
+    const std::size_t sc_a = map[k] / n_bpsc;
+    const std::size_t sc_b = map[k + 1] / n_bpsc;
+    EXPECT_NE(sc_a, sc_b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, InterleaverSuite,
+                         ::testing::Values(InterleaverCase{48, 1},
+                                           InterleaverCase{96, 2},
+                                           InterleaverCase{192, 4},
+                                           InterleaverCase{288, 6}));
+
+class ConstellationSuite : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ConstellationSuite, UnitAveragePower) {
+  const auto& pts = constellation_points(GetParam());
+  double p = 0.0;
+  for (const auto& s : pts) p += std::norm(s);
+  EXPECT_NEAR(p / static_cast<double>(pts.size()), 1.0, 1e-12);
+}
+
+TEST_P(ConstellationSuite, HardRoundtrip) {
+  util::Rng rng(7);
+  const Modulation m = GetParam();
+  const Bits bits = random_bits(bits_per_symbol(m) * 100, rng);
+  EXPECT_EQ(demap_hard(map_bits(bits, m), m), bits);
+}
+
+TEST_P(ConstellationSuite, GrayNeighborsDifferInOneBit) {
+  const Modulation m = GetParam();
+  if (m == Modulation::kBpsk) GTEST_SKIP();
+  const auto& pts = constellation_points(m);
+  // For each point, its nearest neighbors must differ in exactly 1 bit.
+  for (std::size_t a = 0; a < pts.size(); ++a) {
+    double min_d = 1e9;
+    for (std::size_t b = 0; b < pts.size(); ++b) {
+      if (a != b) min_d = std::min(min_d, std::abs(pts[a] - pts[b]));
+    }
+    for (std::size_t b = 0; b < pts.size(); ++b) {
+      if (a == b || std::abs(pts[a] - pts[b]) > min_d * 1.001) continue;
+      EXPECT_EQ(__builtin_popcountll(a ^ b), 1)
+          << "points " << a << " and " << b;
+    }
+  }
+}
+
+TEST_P(ConstellationSuite, SoftLlrSignMatchesBits) {
+  util::Rng rng(8);
+  const Modulation m = GetParam();
+  const Bits bits = random_bits(bits_per_symbol(m) * 50, rng);
+  const auto syms = map_bits(bits, m);
+  const auto llr = demap_soft(syms, {0.01}, m);
+  ASSERT_EQ(llr.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Positive LLR means bit 0.
+    EXPECT_EQ(bits[i] == 0, llr[i] > 0.0) << i;
+  }
+}
+
+TEST_P(ConstellationSuite, BerDecreasesWithSnr) {
+  const Modulation m = GetParam();
+  double prev = 0.6;
+  for (double snr_db = -5; snr_db <= 30; snr_db += 5) {
+    const double ber = ber_awgn(m, util::from_db(snr_db));
+    EXPECT_LE(ber, prev + 1e-12);
+    prev = ber;
+  }
+  EXPECT_LT(ber_awgn(m, util::from_db(30)), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mods, ConstellationSuite,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Mcs, TableIsOrdered) {
+  const auto& t = mcs_table();
+  ASSERT_EQ(t.size(), 8u);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i].bitrate_mbps, t[i - 1].bitrate_mbps);
+    EXPECT_GT(t[i].min_esnr_db, t[i - 1].min_esnr_db);
+  }
+  // The paper quotes "1500-byte packet at 18 Mb/s": must exist in the table.
+  EXPECT_DOUBLE_EQ(t[5].bitrate_mbps, 18.0);
+}
+
+TEST(Mcs, DbpsConsistent) {
+  for (const auto& m : mcs_table()) {
+    const double expected = static_cast<double>(m.n_cbps) *
+                            code_rate_value(m.code_rate);
+    EXPECT_DOUBLE_EQ(static_cast<double>(m.n_dbps), expected);
+    EXPECT_EQ(m.n_cbps, 48 * bits_per_symbol(m.modulation));
+  }
+}
+
+TEST(Mcs, SelectRespectsThreshold) {
+  EXPECT_EQ(select_mcs(3.0), nullptr);
+  ASSERT_NE(select_mcs(4.0), nullptr);
+  EXPECT_EQ(select_mcs(4.0)->index, 0);
+  EXPECT_EQ(select_mcs(16.0)->index, 5);
+  EXPECT_EQ(select_mcs(50.0)->index, 7);
+}
+
+TEST(Mcs, PerMonotoneInEsnr) {
+  const Mcs& m = mcs_by_index(4);
+  double prev = 1.0;
+  for (double e = 0; e < 30; e += 1.0) {
+    const double per = packet_error_rate(m, e, 1500);
+    EXPECT_LE(per, prev + 1e-12);
+    prev = per;
+  }
+}
+
+TEST(Mcs, PerSmallAtThreshold) {
+  for (const auto& m : mcs_table()) {
+    const double per = packet_error_rate(m, m.min_esnr_db, 1500);
+    EXPECT_LT(per, 0.02);
+    EXPECT_GT(per, 1e-4);
+  }
+}
+
+TEST(Mcs, PerScalesWithLength) {
+  const Mcs& m = mcs_by_index(3);
+  const double e = m.min_esnr_db - 1.0;
+  const double p_short = packet_error_rate(m, e, 300);
+  const double p_long = packet_error_rate(m, e, 3000);
+  EXPECT_LT(p_short, p_long);
+}
+
+TEST(Mcs, DataSymbolsCount) {
+  // 1500 B at 18 Mb/s (n_dbps 144): (12000+22)/144 -> 84 symbols.
+  EXPECT_EQ(n_data_symbols(mcs_by_index(5), 1500, 1), 84u);
+  // Three streams divide the symbol count.
+  EXPECT_EQ(n_data_symbols(mcs_by_index(5), 1500, 3), 28u);
+}
+
+TEST(Esnr, FlatChannelIsIdentity) {
+  // All subcarriers at the same SNR: ESNR equals that SNR.
+  const std::vector<double> flat(48, util::from_db(15.0));
+  for (auto m : {Modulation::kBpsk, Modulation::kQam16}) {
+    EXPECT_NEAR(util::to_db(effective_snr(flat, m)), 15.0, 0.05);
+  }
+}
+
+TEST(Esnr, FadedSubcarrierDragsDown) {
+  std::vector<double> snr(48, util::from_db(20.0));
+  snr[7] = util::from_db(0.0);  // one dead subcarrier
+  const double esnr_db =
+      util::to_db(effective_snr(snr, Modulation::kQpsk));
+  EXPECT_LT(esnr_db, 19.0);   // well below the mean SNR in dB
+  EXPECT_GT(esnr_db, 5.0);
+}
+
+TEST(Esnr, InverseBerInvertsForward) {
+  for (auto m : {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam64}) {
+    for (double snr_db : {3.0, 10.0, 20.0}) {
+      const double snr = util::from_db(snr_db);
+      const double ber = ber_awgn(m, snr);
+      if (ber < 1e-12) continue;
+      EXPECT_NEAR(util::to_db(inverse_ber(m, ber)), snr_db, 0.01);
+    }
+  }
+}
+
+TEST(Esnr, SelectionPicksFastestSustainable) {
+  const std::vector<double> good(48, util::from_db(30.0));
+  const Mcs* m = select_mcs_esnr(good);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->index, 7);
+
+  const std::vector<double> weak(48, util::from_db(5.0));
+  const Mcs* w = select_mcs_esnr(weak);
+  ASSERT_NE(w, nullptr);
+  EXPECT_LE(w->index, 1);
+
+  const std::vector<double> dead(48, util::from_db(-5.0));
+  EXPECT_EQ(select_mcs_esnr(dead), nullptr);
+}
+
+TEST(Esnr, MarginLowersSelection) {
+  const std::vector<double> snr(48, util::from_db(12.5));
+  const Mcs* no_margin = select_mcs_esnr(snr, 0.0);
+  const Mcs* with_margin = select_mcs_esnr(snr, 3.0);
+  ASSERT_NE(no_margin, nullptr);
+  ASSERT_NE(with_margin, nullptr);
+  EXPECT_GT(no_margin->index, with_margin->index);
+}
+
+TEST(FrameHeader, SerializeParseRoundtrip) {
+  FrameHeader h;
+  h.type = FrameType::kAckHeader;
+  h.src = 0x1234;
+  h.dst = 0x5678;
+  h.length_bytes = 1500;
+  h.mcs_index = 5;
+  h.n_streams = 2;
+  h.n_antennas = 3;
+  h.duration_us = 900;
+  h.seq = 42;
+  const auto bytes = h.serialize();
+  EXPECT_EQ(bytes.size(), FrameHeader::kWireSize);
+  const auto parsed = FrameHeader::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->length_bytes, h.length_bytes);
+  EXPECT_EQ(parsed->mcs_index, h.mcs_index);
+  EXPECT_EQ(parsed->n_streams, h.n_streams);
+  EXPECT_EQ(parsed->n_antennas, h.n_antennas);
+  EXPECT_EQ(parsed->duration_us, h.duration_us);
+  EXPECT_EQ(parsed->seq, h.seq);
+  EXPECT_EQ(static_cast<int>(parsed->type), static_cast<int>(h.type));
+}
+
+TEST(FrameHeader, CorruptionRejected) {
+  FrameHeader h;
+  auto bytes = h.serialize();
+  bytes[3] ^= 0x40;
+  EXPECT_FALSE(FrameHeader::parse(bytes).has_value());
+}
+
+TEST(BitsBytes, Roundtrip) {
+  util::Rng rng(9);
+  std::vector<std::uint8_t> bytes(64);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  EXPECT_EQ(bits_to_bytes(bytes_to_bits(bytes)), bytes);
+}
+
+class PayloadCodecSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(PayloadCodecSuite, NoiselessRoundtrip) {
+  util::Rng rng(10 + GetParam());
+  const Mcs& mcs = mcs_by_index(GetParam());
+  std::vector<std::uint8_t> payload(311);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+
+  const auto symbols = encode_payload(payload, mcs);
+  EXPECT_EQ(symbols.size(), encoded_symbol_count(payload.size(), mcs) * 48);
+  const auto decoded =
+      decode_payload(symbols, {1e-3}, payload.size(), mcs);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST_P(PayloadCodecSuite, SurvivesModerateNoise) {
+  util::Rng rng(20 + GetParam());
+  const Mcs& mcs = mcs_by_index(GetParam());
+  std::vector<std::uint8_t> payload(200);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+
+  auto symbols = encode_payload(payload, mcs);
+  // SNR comfortably above the MCS threshold.
+  const double snr = util::from_db(mcs.min_esnr_db + 6.0);
+  const double nv = 1.0 / snr;
+  for (auto& s : symbols) s += rng.cgaussian(nv);
+  const auto decoded = decode_payload(symbols, {nv}, payload.size(), mcs);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST_P(PayloadCodecSuite, CrcCatchesHeavyNoise) {
+  util::Rng rng(30 + GetParam());
+  const Mcs& mcs = mcs_by_index(GetParam());
+  std::vector<std::uint8_t> payload(200);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  auto symbols = encode_payload(payload, mcs);
+  // Hopeless SNR: decode must fail cleanly (nullopt), not return garbage.
+  for (auto& s : symbols) s += rng.cgaussian(20.0);
+  const auto decoded = decode_payload(symbols, {20.0}, payload.size(), mcs);
+  if (decoded.has_value()) {
+    // Astronomically unlikely; if CRC passes the data must be right.
+    EXPECT_EQ(*decoded, payload);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, PayloadCodecSuite,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace nplus::phy

@@ -1,0 +1,346 @@
+// Tests for the OFDM layer and the MIMO transceiver: modulation roundtrips,
+// preamble structure, LTF channel estimation (incl. tap smoothing), and
+// end-to-end frames through ideal and fading channels with interference
+// projection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/mimo_channel.h"
+#include "dsp/correlate.h"
+#include "dsp/signal.h"
+#include "linalg/subspace.h"
+#include "phy/channel_est.h"
+#include "phy/constellation.h"
+#include "phy/frame.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+#include "phy/transceiver.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nplus::phy {
+namespace {
+
+using channel::MimoChannel;
+using linalg::CMat;
+
+std::vector<cdouble> random_qpsk(std::size_t n_syms, util::Rng& rng) {
+  Bits bits(96 * n_syms);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  return map_bits(bits, Modulation::kQpsk);
+}
+
+TEST(OfdmParams, Timing10MHz) {
+  OfdmParams p;
+  EXPECT_EQ(p.symbol_len(), 80u);
+  EXPECT_NEAR(p.symbol_duration_s(), 8e-6, 1e-12);
+  EXPECT_EQ(p.used_subcarriers(), 52u);
+}
+
+TEST(OfdmParams, CpScaling) {
+  OfdmParams p;
+  p.cp_scale = 2;
+  EXPECT_EQ(p.scaled_fft(), 128u);
+  EXPECT_EQ(p.scaled_cp(), 32u);
+  // CP fraction unchanged (the §4 requirement).
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(p.scaled_cp()) / p.scaled_fft(),
+      16.0 / 64.0);
+}
+
+TEST(OfdmParams, DataSubcarriersExcludePilotsAndDc) {
+  const auto sc = data_subcarriers();
+  EXPECT_EQ(sc.size(), 48u);
+  for (int k : sc) {
+    EXPECT_NE(k, 0);
+    for (int p : kPilotSubcarriers) EXPECT_NE(k, p);
+  }
+}
+
+TEST(PilotPolarity, MatchesStandardPrefix) {
+  // First pilot polarities of 802.11a: 1,1,1,1,-1,-1,-1,1,...
+  const double expected[8] = {1, 1, 1, 1, -1, -1, -1, 1};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(pilot_polarity(static_cast<std::size_t>(i)),
+                     expected[i]);
+  }
+}
+
+TEST(Ofdm, SymbolRoundtripIdeal) {
+  util::Rng rng(1);
+  const auto data = random_qpsk(1, rng);
+  const Samples time = ofdm_modulate_symbol(data, 0);
+  EXPECT_EQ(time.size(), 80u);
+  const auto bins = ofdm_demod_bins(time, 0);
+  const auto rx = extract_data(bins);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_NEAR(std::abs(rx[i] - data[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Ofdm, UnitMeanTransmitPower) {
+  util::Rng rng(2);
+  const auto data = random_qpsk(8, rng);
+  const Samples time = ofdm_modulate(data);
+  EXPECT_NEAR(nplus::dsp::mean_power(time), 1.0, 0.15);
+}
+
+TEST(Ofdm, CyclicPrefixIsCopyOfTail) {
+  util::Rng rng(3);
+  const auto data = random_qpsk(1, rng);
+  const Samples t = ofdm_modulate_symbol(data, 0);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(t[i] - t[64 + i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Ofdm, PilotsCarryPolarity) {
+  util::Rng rng(4);
+  const auto data = random_qpsk(1, rng);
+  const Samples t = ofdm_modulate_symbol(data, 4);  // polarity(4) = -1
+  const auto bins = ofdm_demod_bins(t, 0);
+  const auto pilots = extract_pilots(bins);
+  EXPECT_NEAR(std::abs(pilots[0] - cdouble{-1.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(pilots[3] - cdouble{1.0, 0.0}), 0.0, 1e-9);
+}
+
+TEST(Ofdm, PilotPhaseCorrectionRecoversRotation) {
+  util::Rng rng(5);
+  const auto data = random_qpsk(1, rng);
+  Samples t = ofdm_modulate_symbol(data, 0);
+  const cdouble rot = std::polar(1.0, 0.3);
+  for (auto& v : t) v *= rot;
+  const auto bins = ofdm_demod_bins(t, 0);
+  const std::vector<cdouble> flat(4, cdouble{1.0, 0.0});
+  const cdouble fix = pilot_phase_correction(extract_pilots(bins), flat, 0);
+  EXPECT_NEAR(std::arg(fix * rot), 0.0, 1e-9);
+}
+
+TEST(Preamble, StfIsPeriodic16) {
+  const Samples stf = stf_time();
+  EXPECT_EQ(stf.size(), 160u);
+  for (std::size_t i = 0; i + 16 < stf.size(); ++i) {
+    EXPECT_NEAR(std::abs(stf[i] - stf[i + 16]), 0.0, 1e-9);
+  }
+}
+
+TEST(Preamble, LtfStructure) {
+  const Samples ltf = ltf_time();
+  EXPECT_EQ(ltf.size(), 160u);
+  // Double CP (32) then two identical 64-sample symbols.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(ltf[32 + i] - ltf[96 + i]), 0.0, 1e-9);
+  }
+  // CP is the tail of the symbol.
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(ltf[i] - ltf[96 + 32 + i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Preamble, StfAutocorrelationPeak) {
+  const Samples stf = stf_time();
+  EXPECT_NEAR(nplus::dsp::autocorrelation_metric(stf, 0, 16), 1.0, 1e-9);
+}
+
+TEST(ChannelEst, FlatChannelUnity) {
+  const Samples ltf = ltf_time();
+  const ChannelEstimate est = estimate_from_ltf(ltf, 0);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    EXPECT_NEAR(std::abs(est.at(k) - cdouble{1.0, 0.0}), 0.0, 1e-9) << k;
+  }
+}
+
+TEST(ChannelEst, RecoverMultipathResponse) {
+  util::Rng rng(6);
+  channel::ChannelProfile profile;
+  const MimoChannel ch(1, 1, 1.0, profile, rng);
+  const Samples ltf = ltf_time();
+  const auto rx = ch.propagate({ltf});
+  const ChannelEstimate est = estimate_from_ltf(rx[0], 0);
+  for (int k : {-26, -10, 1, 13, 26}) {
+    const cdouble truth = ch.freq_response(k)(0, 0);
+    EXPECT_NEAR(std::abs(est.at(k) - truth), 0.0, 1e-9) << k;
+  }
+}
+
+TEST(ChannelEst, SmoothingReducesNoise) {
+  util::Rng rng(7);
+  channel::ChannelProfile profile;
+  const MimoChannel ch(1, 1, 1.0, profile, rng);
+  const Samples ltf = ltf_time();
+  auto rx = ch.propagate({ltf});
+  const double noise_var = 0.01;
+  for (auto& v : rx[0]) v += rng.cgaussian(noise_var);
+  const ChannelEstimate noisy = estimate_from_ltf(rx[0], 0);
+  const ChannelEstimate smooth = smooth_to_taps(noisy);
+
+  double err_raw = 0.0, err_smooth = 0.0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const cdouble truth = ch.freq_response(k)(0, 0);
+    err_raw += std::norm(noisy.at(k) - truth);
+    err_smooth += std::norm(smooth.at(k) - truth);
+  }
+  // ~11 dB improvement expected; require at least 5 dB.
+  EXPECT_LT(err_smooth, err_raw / 3.0);
+}
+
+TEST(ChannelEst, SmoothingIsNoOpForTapLimitedChannel) {
+  util::Rng rng(8);
+  channel::ChannelProfile profile;
+  profile.n_taps = 3;
+  const MimoChannel ch(1, 1, 1.0, profile, rng);
+  const Samples ltf = ltf_time();
+  const auto rx = ch.propagate({ltf});
+  const ChannelEstimate est = estimate_from_ltf(rx[0], 0);
+  const ChannelEstimate sm = smooth_to_taps(est, 4);
+  for (int k : {-26, -1, 7, 26}) {
+    EXPECT_NEAR(std::abs(sm.at(k) - est.at(k)), 0.0, 1e-9);
+  }
+}
+
+// --- Transceiver end-to-end ----------------------------------------------
+
+struct MimoCase {
+  std::size_t n_tx;
+  std::size_t n_rx;
+  std::size_t n_streams;
+};
+
+class TransceiverSuite : public ::testing::TestWithParam<MimoCase> {};
+
+TEST_P(TransceiverSuite, DecodesThroughFadingChannel) {
+  const auto [n_tx, n_rx, n_streams] = GetParam();
+  util::Rng rng(10 + n_tx * 9 + n_rx * 3 + n_streams);
+  channel::ChannelProfile profile;
+  const MimoChannel ch(n_rx, n_tx, 1.0, profile, rng);
+
+  const Mcs& mcs = mcs_by_index(2);
+  std::vector<std::vector<std::uint8_t>> payloads(n_streams);
+  for (auto& p : payloads) {
+    p.resize(120);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  }
+  const TxFrame frame = build_tx_frame_bytes(
+      payloads, mcs, PrecodingPlan::direct(n_tx, n_streams));
+
+  auto rx = ch.propagate(frame.antennas);
+  const double noise_var = 1e-4;  // 40 dB SNR
+  for (auto& ant : rx) {
+    for (auto& v : ant) v += rng.cgaussian(noise_var);
+  }
+
+  std::vector<std::size_t> wanted(n_streams);
+  std::vector<std::size_t> sizes(n_streams, 120);
+  for (std::size_t i = 0; i < n_streams; ++i) wanted[i] = i;
+  const DecodeResult res =
+      decode_frame(rx, 0, sizes, mcs, n_streams, wanted,
+                   no_interference(n_rx), noise_var);
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    ASSERT_TRUE(res.payloads[i].has_value()) << "stream " << i;
+    EXPECT_EQ(*res.payloads[i], payloads[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, TransceiverSuite,
+                         ::testing::Values(MimoCase{1, 1, 1},
+                                           MimoCase{2, 2, 1},
+                                           MimoCase{2, 2, 2},
+                                           MimoCase{3, 3, 2},
+                                           MimoCase{3, 3, 3},
+                                           MimoCase{2, 3, 2}));
+
+TEST(Transceiver, EffectiveChannelMatchesPrecodedChannel) {
+  util::Rng rng(20);
+  channel::ChannelProfile profile;
+  const MimoChannel ch(2, 2, 1.0, profile, rng);
+
+  // Random uniform precoder.
+  CMat v(2, 1);
+  v(0, 0) = rng.cgaussian();
+  v(1, 0) = rng.cgaussian();
+  const PrecodingPlan plan = PrecodingPlan::uniform(v);
+  const TxFrame frame =
+      build_tx_frame({random_qpsk(2, rng)}, plan);
+  const auto rx = ch.propagate(frame.antennas);
+  const EffectiveChannels est = estimate_effective_channels(rx, 0, 1);
+  for (int k : {-26, -3, 11, 26}) {
+    const CMat expected = ch.freq_response(k) * v;
+    const CMat& got = est[static_cast<std::size_t>(k + 26)];
+    EXPECT_NEAR(linalg::max_abs_diff(got, expected), 0.0, 1e-8) << k;
+  }
+}
+
+TEST(Transceiver, MeasuredSnrTracksNoise) {
+  util::Rng rng(21);
+  channel::ChannelProfile profile;
+  const MimoChannel ch(1, 1, 1.0, profile, rng);
+  const auto syms = random_qpsk(10, rng);
+  const TxFrame frame =
+      build_tx_frame({syms}, PrecodingPlan::direct(1, 1));
+  auto rx = ch.propagate(frame.antennas);
+  const double snr_db = 20.0;
+  const double nv = util::from_db(-snr_db);
+  for (auto& v : rx[0]) v += rng.cgaussian(nv);
+  const auto snr = measure_stream_snr(rx, 0, syms, 1, 0, no_interference(1));
+  // Mean measured SNR should track the injected SNR scaled by |h|^2 per
+  // subcarrier; compare against the analytic per-subcarrier expectation.
+  double expected = 0.0, measured = 0.0;
+  const auto data_sc = data_subcarriers();
+  for (std::size_t i = 0; i < 48; ++i) {
+    expected += std::norm(ch.freq_response(data_sc[i])(0, 0)) / nv;
+    measured += snr[i];
+  }
+  EXPECT_NEAR(util::to_db(measured / expected), 0.0, 1.5);
+}
+
+TEST(Transceiver, ProjectionRejectsKnownInterference) {
+  util::Rng rng(22);
+  channel::ChannelProfile profile;
+  // Wanted 1-antenna transmitter and an interferer at a 2-antenna receiver.
+  const MimoChannel ch_want(2, 1, 1.0, profile, rng);
+  const MimoChannel ch_intf(2, 1, 1.0, profile, rng);
+
+  const auto want_syms = random_qpsk(6, rng);
+  const auto intf_syms = random_qpsk(8, rng);
+  const TxFrame f_want =
+      build_tx_frame({want_syms}, PrecodingPlan::direct(1, 1));
+  const TxFrame f_intf =
+      build_tx_frame({intf_syms}, PrecodingPlan::direct(1, 1));
+
+  // Interferer first (clean preamble), wanted joins aligned to symbol grid.
+  auto rx = ch_intf.propagate(f_intf.antennas);
+  const auto want_rx = ch_want.propagate(f_want.antennas);
+  const std::size_t offset = f_intf.data_offset();
+  for (std::size_t a = 0; a < 2; ++a) {
+    nplus::dsp::mix_into(rx[a], want_rx[a], offset);
+  }
+  const double nv = 1e-4;
+  for (auto& ant : rx) {
+    for (auto& v : ant) v += rng.cgaussian(nv);
+  }
+
+  // Receiver knows the interferer's channel from its clean preamble.
+  const EffectiveChannels intf_est = estimate_effective_channels(rx, 0, 1);
+  InterferenceMap interference = stack_interference(no_interference(2),
+                                                    intf_est);
+
+  const auto snr_proj =
+      measure_stream_snr(rx, offset, want_syms, 1, 0, interference);
+  const auto snr_raw = measure_stream_snr(rx, offset, want_syms, 1, 0,
+                                          no_interference(2));
+  double mean_proj = 0.0, mean_raw = 0.0;
+  for (std::size_t i = 0; i < 48; ++i) {
+    mean_proj += snr_proj[i] / 48.0;
+    mean_raw += snr_raw[i] / 48.0;
+  }
+  // With projection the wanted stream is decodable at high SNR; without it
+  // the interferer crushes it.
+  EXPECT_GT(util::to_db(mean_proj), 20.0);
+  EXPECT_LT(util::to_db(mean_raw), 10.0);
+}
+
+}  // namespace
+}  // namespace nplus::phy

@@ -1,0 +1,224 @@
+// Robustness tests for the §4 "Practical System Issues": carrier frequency
+// offset (pilot phase tracking), timing offsets within the cyclic prefix
+// (the paper's synchronization budget), CP scaling, phase noise, and
+// decode-under-interference sweeps across every MCS.
+#include <gtest/gtest.h>
+
+#include "channel/mimo_channel.h"
+#include "channel/scene.h"
+#include "dsp/signal.h"
+#include "phy/esnr.h"
+#include "phy/frame.h"
+#include "phy/transceiver.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nplus::phy {
+namespace {
+
+using channel::MimoChannel;
+using channel::Scene;
+using channel::TxImpairments;
+
+std::vector<std::uint8_t> random_payload(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint8_t> p(n);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+  return p;
+}
+
+// Builds a 1x1 scene with the given impairments and tries to decode.
+bool decode_with_impairments(const TxImpairments& imp, const Mcs& mcs,
+                             util::Rng& rng, double noise = 1e-4) {
+  channel::ChannelProfile profile;
+  MimoChannel ch(1, 1, 1.0, profile, rng);
+  const auto payload = random_payload(300, rng);
+  const TxFrame frame = build_tx_frame_bytes(
+      {payload}, mcs, PrecodingPlan::direct(1, 1));
+
+  Scene scene(noise, rng);
+  const std::size_t node = scene.add_node(1);
+  const std::size_t t = scene.add_transmission(frame.antennas, 0, imp);
+  scene.set_channel(t, node, std::move(ch));
+  const auto rx = scene.render(node, frame.total_len() + 32);
+
+  const auto res = decode_frame(rx, imp.timing_offset, {payload.size()},
+                                mcs, 1, {0}, no_interference(1), noise);
+  return res.payloads[0].has_value() && *res.payloads[0] == payload;
+}
+
+TEST(Robustness, SmallCfoToleratedByPilotTracking) {
+  // Residual CFO after §4 precompensation: a slow common phase rotation
+  // the per-symbol pilot correction must absorb. 50 Hz at 10 MS/s.
+  util::Rng rng(1);
+  TxImpairments imp;
+  imp.cfo_norm = 5e-6;
+  EXPECT_TRUE(decode_with_impairments(imp, mcs_by_index(2), rng));
+}
+
+TEST(Robustness, LargeCfoBreaksWithoutCompensation) {
+  // An uncompensated 802.11-scale CFO (tens of kHz) destroys orthogonality
+  // — this is exactly why §4 requires joiners to precompensate toward the
+  // first winner.
+  util::Rng rng(2);
+  TxImpairments imp;
+  imp.cfo_norm = 8e-3;  // ~80 kHz at 10 MS/s: half a subcarrier spacing
+  EXPECT_FALSE(decode_with_impairments(imp, mcs_by_index(4), rng));
+}
+
+TEST(Robustness, PhaseNoiseTolerated) {
+  util::Rng rng(3);
+  TxImpairments imp;
+  imp.phase_noise_std = 2e-3;  // rad/sample random walk
+  EXPECT_TRUE(decode_with_impairments(imp, mcs_by_index(2), rng));
+}
+
+class McsRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(McsRobustness, DecodesAtSnrAboveThreshold) {
+  util::Rng rng(10 + GetParam());
+  const Mcs& mcs = mcs_by_index(GetParam());
+  // 6 dB above the selection threshold: delivery must be reliable.
+  const double noise = util::from_db(-(mcs.min_esnr_db + 6.0));
+  TxImpairments imp;
+  int ok = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    ok += decode_with_impairments(imp, mcs, rng, noise);
+  }
+  EXPECT_GE(ok, 4) << mcs.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, McsRobustness,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Robustness, JoinerTimingOffsetWithinCpTolerated) {
+  // §4 Time Synchronization: a joiner misaligned by less than the cyclic
+  // prefix appears at the receiver as an extra per-subcarrier phase ramp —
+  // the channel estimate absorbs it, and decoding still works.
+  util::Rng rng(4);
+  channel::ChannelProfile profile;
+  MimoChannel ch_want(2, 1, 1.0, profile, rng);
+  MimoChannel ch_intf(2, 1, 1.0, profile, rng);
+
+  const auto pay_want = random_payload(200, rng);
+  const auto pay_intf = random_payload(600, rng);
+  const Mcs& mcs = mcs_by_index(2);
+  const TxFrame f_want = build_tx_frame_bytes(
+      {pay_want}, mcs, PrecodingPlan::direct(1, 1));
+  const TxFrame f_intf = build_tx_frame_bytes(
+      {pay_intf}, mcs, PrecodingPlan::direct(1, 1));
+
+  const double noise = 1e-4;
+  // The joiner starts a whole number of symbols after the occupant, PLUS a
+  // sub-CP misalignment of 6 samples (CP is 16 minus channel spread).
+  const std::size_t sym_aligned = f_intf.data_offset() + 5 * 80;
+  const std::size_t jitter = 6;
+
+  Scene scene(noise, rng);
+  const std::size_t node = scene.add_node(2);
+  const std::size_t t1 = scene.add_transmission(f_intf.antennas, 0);
+  TxImpairments imp;
+  imp.timing_offset = jitter;
+  const std::size_t t2 =
+      scene.add_transmission(f_want.antennas, sym_aligned, imp);
+  scene.set_channel(t1, node, std::move(ch_intf));
+  scene.set_channel(t2, node, std::move(ch_want));
+  const auto rx = scene.render(
+      node, sym_aligned + jitter + f_want.total_len() + 32);
+
+  // The receiver synchronizes to the joiner's actual start; the occupant's
+  // interference (estimated from its clean preamble at the occupant's own
+  // alignment) is projected out at the joiner's alignment: valid because
+  // the offset keeps every path within the CP.
+  const EffectiveChannels intf_est = estimate_effective_channels(rx, 0, 1);
+  const InterferenceMap interference =
+      stack_interference(no_interference(2), intf_est);
+  const auto res =
+      decode_frame(rx, sym_aligned + jitter, {pay_want.size()}, mcs, 1, {0},
+                   interference, noise);
+  ASSERT_TRUE(res.payloads[0].has_value());
+  EXPECT_EQ(*res.payloads[0], pay_want);
+}
+
+TEST(Robustness, CpScalingDecodes) {
+  // §4: both FFT and CP scaled by the same factor for distributed timing
+  // slack; the pipeline must work unchanged.
+  util::Rng rng(5);
+  OfdmParams params;
+  params.cp_scale = 2;
+  EXPECT_EQ(params.symbol_len(), 160u);
+
+  phy::Bits bits(96 * 2);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  const auto syms = map_bits(bits, Modulation::kQpsk);
+  const TxFrame frame =
+      build_tx_frame({syms}, PrecodingPlan::direct(1, 1), params);
+
+  // Ideal channel: direct loopback plus light noise.
+  auto rx = frame.antennas;
+  for (auto& v : rx[0]) v += rng.cgaussian(1e-6);
+  const auto snr =
+      measure_stream_snr(rx, 0, syms, 1, 0, no_interference(1), params);
+  double mean = 0.0;
+  for (double s : snr) mean += s / static_cast<double>(snr.size());
+  EXPECT_GT(util::to_db(mean), 30.0);
+}
+
+TEST(Robustness, InterferencePowerSweepDegradesGracefully) {
+  // Sweep the interferer's power: the post-projection SNR of the wanted
+  // stream must stay roughly flat (projection removes it), while the
+  // unprojected SNR collapses.
+  util::Rng rng(6);
+  channel::ChannelProfile profile;
+  MimoChannel ch_want(2, 1, 1.0, profile, rng);
+  MimoChannel ch_intf_base(2, 1, 1.0, profile, rng);
+
+  phy::Bits bits(96 * 4);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(2u));
+  const auto syms = map_bits(bits, Modulation::kQpsk);
+  const TxFrame f_want =
+      build_tx_frame({syms}, PrecodingPlan::direct(1, 1));
+  const auto intf_syms = map_bits(bits, Modulation::kQpsk);
+  const TxFrame f_intf =
+      build_tx_frame({intf_syms}, PrecodingPlan::direct(1, 1));
+
+  double prev_proj_db = -1e9;
+  for (double intf_gain : {0.1, 1.0, 10.0}) {
+    util::Rng trial_rng = rng.fork(static_cast<std::uint64_t>(
+        intf_gain * 100));
+    // Scale the interferer's taps.
+    auto taps = ch_intf_base.taps();
+    for (auto& row : taps) {
+      for (auto& pair : row) {
+        for (auto& tap : pair) tap *= std::sqrt(intf_gain);
+      }
+    }
+    MimoChannel ch_intf(taps);
+    MimoChannel ch_want_copy(ch_want.taps());
+
+    Scene scene(1e-4, trial_rng);
+    const std::size_t node = scene.add_node(2);
+    const std::size_t t1 = scene.add_transmission(f_intf.antennas, 0);
+    const std::size_t t2 = scene.add_transmission(
+        f_want.antennas, f_intf.data_offset());
+    scene.set_channel(t1, node, std::move(ch_intf));
+    scene.set_channel(t2, node, std::move(ch_want_copy));
+    const auto rx =
+        scene.render(node, f_intf.data_offset() + f_want.total_len() + 16);
+
+    const EffectiveChannels est = estimate_effective_channels(rx, 0, 1);
+    const auto snr = measure_stream_snr(
+        rx, f_intf.data_offset(), syms, 1, 0,
+        stack_interference(no_interference(2), est));
+    double mean = 0.0;
+    for (double s : snr) mean += s / static_cast<double>(snr.size());
+    const double proj_db = util::to_db(mean);
+    // Projection keeps the wanted stream alive at every interference level.
+    EXPECT_GT(proj_db, 15.0) << "interferer gain " << intf_gain;
+    // And the degradation from 10x more interference is modest.
+    EXPECT_GT(proj_db, prev_proj_db - 12.0);
+    prev_proj_db = proj_db;
+  }
+}
+
+}  // namespace
+}  // namespace nplus::phy

@@ -1,0 +1,211 @@
+// Tests for util: deterministic RNG, distributions, statistics, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace nplus::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntOfOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(1u), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(42);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(42);
+  double p = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) p += std::norm(rng.cgaussian(2.5));
+  EXPECT_NEAR(p / n, 2.5, 0.1);
+}
+
+TEST(Rng, PhaseIsUnitMagnitude) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(std::abs(rng.phase()), 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(sorted[size_t(i)], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  const auto s = rng.sample_without_replacement(20, 6);
+  EXPECT_EQ(s.size(), 6u);
+  std::set<int> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 6u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(77);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniform() == c2.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(77), p2(77);
+  Rng a = p1.fork(9);
+  Rng b = p2.fork(9);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndNormalized) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().f, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].x, cdf[i].x);
+    EXPECT_LT(cdf[i - 1].f, cdf[i].f);
+  }
+}
+
+TEST(Histogram, BucketsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0, 10.0);
+  h.add(1.5, 20.0);
+  h.add(9.9, 5.0);
+  h.add(-1.0, 99.0);  // ignored
+  h.add(10.1, 99.0);  // ignored
+  EXPECT_EQ(h.buckets()[0].stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].stats.mean(), 15.0);
+  EXPECT_EQ(h.buckets()[4].stats.count(), 1u);
+  EXPECT_EQ(h.buckets()[1].stats.count(), 0u);
+}
+
+TEST(Units, DbRoundtrip) {
+  for (double db : {-30.0, -3.0, 0.0, 10.0, 27.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, KnownValues) {
+  EXPECT_NEAR(from_db(3.0), 2.0, 0.01);
+  EXPECT_NEAR(to_db(100.0), 20.0, 1e-9);
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(mw_to_dbm(100.0), 20.0, 1e-9);
+}
+
+TEST(Units, ThermalNoise10MHz) {
+  // kTB at 290K over 10 MHz ~ -104 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(10e6), -104.0, 0.5);
+}
+
+TEST(Log, RespectsLevel) {
+  static std::vector<std::string> captured;
+  captured.clear();
+  set_log_sink([](LogLevel, const std::string& m) { captured.push_back(m); });
+  set_log_level(LogLevel::kWarn);
+  NPLUS_INFO() << "hidden";
+  NPLUS_WARN() << "visible " << 42;
+  reset_log_sink();
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "visible 42");
+}
+
+}  // namespace
+}  // namespace nplus::util
