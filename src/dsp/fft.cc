@@ -2,35 +2,30 @@
 
 #include <cassert>
 #include <cmath>
-#include <map>
+#include <memory>
 #include <numbers>
 
 namespace nplus::dsp {
 
-namespace {
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-// Twiddle cache keyed by FFT size. The simulator is single-threaded by
-// design (deterministic event loop), so a plain map is safe.
-const std::vector<cdouble>& twiddles(std::size_t n) {
-  static std::map<std::size_t, std::vector<cdouble>> cache;
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    std::vector<cdouble> w(n / 2);
-    for (std::size_t k = 0; k < n / 2; ++k) {
-      const double ang = -2.0 * std::numbers::pi *
-                         static_cast<double>(k) / static_cast<double>(n);
-      w[k] = {std::cos(ang), std::sin(ang)};
-    }
-    it = cache.emplace(n, std::move(w)).first;
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  assert(is_power_of_two(n));
+  twiddles_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    twiddles_[k] = {std::cos(ang), std::sin(ang)};
   }
-  return it->second;
-}
-
-void bit_reverse_permute(std::vector<cdouble>& x) {
-  const std::size_t n = x.size();
+  // Bit-reversal permutation as swap pairs (i < rev(i)), precomputed so the
+  // per-transform pass is a straight walk over an index list.
+  bit_rev_.clear();
   std::size_t j = 0;
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    if (i < j) std::swap(x[i], x[j]);
+    if (i < j) {
+      bit_rev_.push_back(static_cast<std::uint32_t>(i));
+      bit_rev_.push_back(static_cast<std::uint32_t>(j));
+    }
     std::size_t mask = n >> 1;
     while (j & mask) {
       j &= ~mask;
@@ -40,35 +35,76 @@ void bit_reverse_permute(std::vector<cdouble>& x) {
   }
 }
 
-}  // namespace
-
-bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-void fft_inplace(std::vector<cdouble>& x) {
-  const std::size_t n = x.size();
-  assert(is_power_of_two(n));
+void FftPlan::forward(cdouble* x) const {
+  const std::size_t n = n_;
   if (n <= 1) return;
-  bit_reverse_permute(x);
-  const auto& w = twiddles(n);
+  for (std::size_t p = 0; p < bit_rev_.size(); p += 2) {
+    std::swap(x[bit_rev_[p]], x[bit_rev_[p + 1]]);
+  }
+  const cdouble* w = twiddles_.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
     const std::size_t stride = n / len;
     for (std::size_t start = 0; start < n; start += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cdouble t = w[k * stride] * x[start + k + len / 2];
+      for (std::size_t k = 0; k < half; ++k) {
+        const cdouble t = w[k * stride] * x[start + k + half];
         const cdouble u = x[start + k];
         x[start + k] = u + t;
-        x[start + k + len / 2] = u - t;
+        x[start + k + half] = u - t;
       }
     }
   }
 }
 
-void ifft_inplace(std::vector<cdouble>& x) {
-  const std::size_t n = x.size();
-  for (auto& v : x) v = std::conj(v);
-  fft_inplace(x);
+void FftPlan::inverse(cdouble* x) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::conj(x[i]);
+  forward(x);
   const double inv = 1.0 / static_cast<double>(n);
-  for (auto& v : x) v = std::conj(v) * inv;
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::conj(x[i]) * inv;
+}
+
+void FftPlan::forward(std::vector<cdouble>& x) const {
+  assert(x.size() == n_);
+  forward(x.data());
+}
+
+void FftPlan::inverse(std::vector<cdouble>& x) const {
+  assert(x.size() == n_);
+  inverse(x.data());
+}
+
+void FftPlan::forward_batch(cdouble* x, std::size_t count) const {
+  for (std::size_t b = 0; b < count; ++b) forward(x + b * n_);
+}
+
+void FftPlan::inverse_batch(cdouble* x, std::size_t count) const {
+  for (std::size_t b = 0; b < count; ++b) inverse(x + b * n_);
+}
+
+const FftPlan& shared_plan(std::size_t n) {
+  assert(is_power_of_two(n));
+  // Plans indexed by log2(n); built on first use, then a two-instruction
+  // lookup (the simulator is single-threaded by design). This replaces the
+  // old std::map<size, twiddles> cache, whose tree walk sat in the middle
+  // of every per-symbol transform.
+  constexpr std::size_t kMaxLog2 = 32;
+  static std::unique_ptr<FftPlan> plans[kMaxLog2];
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  assert(log2n < kMaxLog2);
+  if (!plans[log2n]) plans[log2n] = std::make_unique<FftPlan>(n);
+  return *plans[log2n];
+}
+
+void fft_inplace(std::vector<cdouble>& x) {
+  if (x.size() <= 1) return;
+  shared_plan(x.size()).forward(x.data());
+}
+
+void ifft_inplace(std::vector<cdouble>& x) {
+  if (x.empty()) return;
+  shared_plan(x.size()).inverse(x.data());
 }
 
 std::vector<cdouble> fft(std::vector<cdouble> x) {

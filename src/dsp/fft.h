@@ -1,17 +1,59 @@
 // Radix-2 iterative FFT / IFFT for power-of-two sizes.
 //
-// The OFDM PHY uses 64-point transforms on the hot path; twiddle factors are
-// cached per size in a small table so repeated transforms do no trig.
+// The OFDM PHY uses 64-point transforms on the hot path. The primary API is
+// FftPlan: a reusable object owning the precomputed twiddle factors and
+// bit-reversal permutation for one size, so steady-state transforms do no
+// trig, no lookups, and no heap allocations. A batched entry point
+// transforms all OFDM symbols of a frame in one call.
+//
 // Convention: fft computes X_k = sum_n x_n e^{-j 2 pi k n / N} (no scaling);
 // ifft applies the conjugate kernel and divides by N, so ifft(fft(x)) == x.
+//
+// The free functions (fft_inplace & friends) remain as a convenience for
+// cold paths and odd callers; they route through a process-wide plan cache
+// indexed by log2(n), so they are allocation-free after first use of a size
+// but still pay a cache-lookup branch per call — hot loops should hold an
+// FftPlan directly.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 namespace nplus::dsp {
 
 using cdouble = std::complex<double>;
+
+// Precomputed transform for one power-of-two size.
+class FftPlan {
+ public:
+  // n must be a nonzero power of two.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  // In-place transforms of x[0..n): zero allocations.
+  void forward(cdouble* x) const;
+  void inverse(cdouble* x) const;
+
+  // Vector conveniences; x.size() must equal size().
+  void forward(std::vector<cdouble>& x) const;
+  void inverse(std::vector<cdouble>& x) const;
+
+  // Batched in-place transforms of `count` contiguous blocks of size() —
+  // e.g. every OFDM symbol of a frame laid out back-to-back.
+  void forward_batch(cdouble* x, std::size_t count) const;
+  void inverse_batch(cdouble* x, std::size_t count) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<cdouble> twiddles_;       // e^{-j 2 pi k / n}, k in [0, n/2)
+  std::vector<std::uint32_t> bit_rev_;  // precomputed permutation
+};
+
+// Shared per-size plan for the free-function fallback path. Plans are built
+// on first use and live for the process (single-threaded simulator).
+const FftPlan& shared_plan(std::size_t n);
 
 // In-place forward FFT; size must be a power of two.
 void fft_inplace(std::vector<cdouble>& x);

@@ -26,10 +26,17 @@ void apply_householder_left(CMat& m, const CVec& v, cdouble tau,
 }  // namespace
 
 Lu lu_factor(const CMat& a, double tol) {
+  Lu f;
+  lu_factor_into(a, f, tol);
+  return f;
+}
+
+void lu_factor_into(const CMat& a, Lu& f, double tol) {
   assert(a.rows() == a.cols());
   const std::size_t n = a.rows();
-  Lu f;
   f.lu = a;
+  f.sign = 1;
+  f.singular = false;
   f.perm.resize(n);
   std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
 
@@ -62,13 +69,19 @@ Lu lu_factor(const CMat& a, double tol) {
         f.lu(r, c) -= factor * f.lu(k, c);
     }
   }
-  return f;
 }
 
 CVec lu_solve(const Lu& f, const CVec& b) {
+  CVec x;
+  lu_solve_into(f, b, x);
+  return x;
+}
+
+void lu_solve_into(const Lu& f, const CVec& b, CVec& x) {
   const std::size_t n = f.lu.rows();
   assert(b.size() == n);
-  CVec x(n);
+  assert(x.data() != b.data());
+  x.resize(n);
   // Forward substitution with permuted b (L has unit diagonal).
   for (std::size_t r = 0; r < n; ++r) {
     cdouble s = b[f.perm[r]];
@@ -81,7 +94,6 @@ CVec lu_solve(const Lu& f, const CVec& b) {
     for (std::size_t c = ri + 1; c < n; ++c) s -= f.lu(ri, c) * x[c];
     x[ri] = s / f.lu(ri, ri);
   }
-  return x;
 }
 
 CMat lu_solve(const Lu& f, const CMat& b) {
@@ -95,6 +107,14 @@ std::optional<CVec> solve(const CMat& a, const CVec& b, double tol) {
   const Lu f = lu_factor(a, tol);
   if (f.singular) return std::nullopt;
   return lu_solve(f, b);
+}
+
+bool solve_into(const CMat& a, const CVec& b, Lu& workspace, CVec& x,
+                double tol) {
+  lu_factor_into(a, workspace, tol);
+  if (workspace.singular) return false;
+  lu_solve_into(workspace, b, x);
+  return true;
 }
 
 std::optional<CMat> solve(const CMat& a, const CMat& b, double tol) {

@@ -23,14 +23,27 @@ struct Lu {
 };
 Lu lu_factor(const CMat& a, double tol = 1e-12);
 
+// Destination-passing variant: factorizes into `f`, reusing its storage.
+// Zero heap allocations once `f` has been used for the same size before
+// (and never any for MIMO-sized matrices, which fit the inline buffer).
+void lu_factor_into(const CMat& a, Lu& f, double tol = 1e-12);
+
 // Solves A x = b via a precomputed factorization. Undefined if singular.
 CVec lu_solve(const Lu& f, const CVec& b);
 // Solves A X = B column-by-column.
 CMat lu_solve(const Lu& f, const CMat& b);
 
+// Destination-passing variant; `x` must not alias `b`.
+void lu_solve_into(const Lu& f, const CVec& b, CVec& x);
+
 // Convenience: solves A x = b; returns nullopt if A is (near-)singular.
 std::optional<CVec> solve(const CMat& a, const CVec& b, double tol = 1e-12);
 std::optional<CMat> solve(const CMat& a, const CMat& b, double tol = 1e-12);
+
+// Destination-passing solve reusing a caller-owned factorization workspace;
+// returns false if A is (near-)singular. `x` must not alias `b`.
+bool solve_into(const CMat& a, const CVec& b, Lu& workspace, CVec& x,
+                double tol = 1e-12);
 
 // Inverse of a square matrix; nullopt if singular.
 std::optional<CMat> inverse(const CMat& a, double tol = 1e-12);

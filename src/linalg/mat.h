@@ -4,6 +4,13 @@
 // the per-subcarrier loops run millions of times in signal-level experiments,
 // so the implementation favors flat contiguous storage and avoids virtual
 // dispatch or expression templates. All algebra is double-precision complex.
+//
+// Storage is a fixed-capacity inline buffer (SmallBuf, 16 elements) with a
+// heap fallback for the rare large operands, so per-subcarrier temporaries —
+// including by-value operator returns — never touch the allocator. The
+// destination-passing kernels at the bottom (`mul_into` and friends) avoid
+// even the inline copy and are the building blocks of the zero-allocation
+// RX/TX hot path.
 #pragma once
 
 #include <complex>
@@ -11,6 +18,8 @@
 #include <initializer_list>
 #include <string>
 #include <vector>
+
+#include "linalg/small_buffer.h"
 
 namespace nplus::linalg {
 
@@ -20,15 +29,22 @@ using cdouble = std::complex<double>;
 class CVec {
  public:
   CVec() = default;
-  explicit CVec(std::size_t n) : data_(n, cdouble{0.0, 0.0}) {}
-  CVec(std::initializer_list<cdouble> init) : data_(init) {}
-  explicit CVec(std::vector<cdouble> data) : data_(std::move(data)) {}
+  explicit CVec(std::size_t n) : data_(n) {}
+  CVec(std::initializer_list<cdouble> init) {
+    data_.assign(init.begin(), init.size());
+  }
+  explicit CVec(const std::vector<cdouble>& data) {
+    data_.assign(data.data(), data.size());
+  }
 
   std::size_t size() const { return data_.size(); }
+  // Reuses existing capacity; zero allocations while n fits (always true for
+  // MIMO-sized vectors, which fit the inline buffer).
+  void resize(std::size_t n) { data_.resize(n); }
   cdouble& operator[](std::size_t i) { return data_[i]; }
   const cdouble& operator[](std::size_t i) const { return data_[i]; }
-  const std::vector<cdouble>& data() const { return data_; }
-  std::vector<cdouble>& data() { return data_; }
+  const cdouble* data() const { return data_.data(); }
+  cdouble* data() { return data_.data(); }
 
   CVec& operator+=(const CVec& o);
   CVec& operator-=(const CVec& o);
@@ -42,7 +58,7 @@ class CVec {
   CVec normalized() const;
 
  private:
-  std::vector<cdouble> data_;
+  SmallBuf data_;
 };
 
 CVec operator+(CVec a, const CVec& b);
@@ -58,7 +74,7 @@ class CMat {
  public:
   CMat() = default;
   CMat(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, cdouble{0.0, 0.0}) {}
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
   // Construct from nested initializer list: CMat{{a,b},{c,d}}.
   CMat(std::initializer_list<std::initializer_list<cdouble>> init);
 
@@ -69,12 +85,28 @@ class CMat {
   std::size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
+  // Reshapes to rows x cols without preserving contents (entries are
+  // unspecified; callers overwrite). Reuses existing capacity.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+  // Reshapes and zero-fills.
+  void resize_zero(std::size_t rows, std::size_t cols) {
+    resize(rows, cols);
+    data_.fill(cdouble{0.0, 0.0});
+  }
+
   cdouble& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }
   const cdouble& operator()(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
+
+  const cdouble* data() const { return data_.data(); }
+  cdouble* data() { return data_.data(); }
 
   CMat& operator+=(const CMat& o);
   CMat& operator-=(const CMat& o);
@@ -112,7 +144,7 @@ class CMat {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<cdouble> data_;
+  SmallBuf data_;
 };
 
 CMat operator+(CMat a, const CMat& b);
@@ -126,5 +158,22 @@ CMat from_cols(const std::vector<CVec>& cols);
 
 // Max elementwise |a - b|; defined for equal shapes.
 double max_abs_diff(const CMat& a, const CMat& b);
+
+// --- Destination-passing kernels ----------------------------------------
+// The zero-allocation hot path: each kernel resizes `out` to the result
+// shape (reusing its capacity — no allocation once warmed up, and never for
+// MIMO-sized operands) and writes the result in place. `out` must not alias
+// any input.
+
+// out = a * b.
+void mul_into(const CMat& a, const CMat& b, CMat& out);
+// out = a * x.
+void mul_into(const CMat& a, const CVec& x, CVec& out);
+// out = a^H * y without materializing a^H.
+void mul_hermitian_into(const CMat& a, const CVec& y, CVec& out);
+// out = a^H * b without materializing a^H.
+void mul_hermitian_into(const CMat& a, const CMat& b, CMat& out);
+// out = a^H.
+void hermitian_into(const CMat& a, CMat& out);
 
 }  // namespace nplus::linalg

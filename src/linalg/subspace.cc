@@ -33,7 +33,19 @@ CVec project_onto(const CMat& basis, const CVec& y) {
 }
 
 CVec coordinates_in(const CMat& basis, const CVec& y) {
-  return basis.hermitian() * y;
+  CVec out;
+  coordinates_in_into(basis, y, out);
+  return out;
+}
+
+void coordinates_in_into(const CMat& basis, const CVec& y, CVec& out) {
+  mul_hermitian_into(basis, y, out);
+}
+
+void project_onto_into(const CMat& basis, const CVec& y, CVec& coords,
+                       CVec& out) {
+  mul_hermitian_into(basis, y, coords);
+  mul_into(basis, coords, out);
 }
 
 double principal_angle(const CMat& basis_a, const CMat& basis_b) {

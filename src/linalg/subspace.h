@@ -38,6 +38,14 @@ CVec project_onto(const CMat& basis, const CVec& y);
 // interference-free directions w_1..w_k (the paper's ~y' = (w_i . y)).
 CVec coordinates_in(const CMat& basis, const CVec& y);
 
+// Destination-passing variants for the per-subcarrier hot path (zero heap
+// allocations once the outputs have capacity; `out`/`coords` must not alias
+// `y`).
+void coordinates_in_into(const CMat& basis, const CVec& y, CVec& out);
+// out = B (B^H y); `coords` is scratch for the basis coordinates.
+void project_onto_into(const CMat& basis, const CVec& y, CVec& coords,
+                       CVec& out);
+
 // Largest principal angle (radians) between the column spaces of two
 // orthonormal bases. 0 => identical subspaces; pi/2 => orthogonal direction
 // present. Used to test alignment quality and the §3.5 observation that the

@@ -15,7 +15,8 @@ using linalg::cdouble;
 
 // Unitary Procrustes: rotation Q minimizing ||u Q - target||_F.
 CMat procrustes_rotation(const CMat& u, const CMat& target) {
-  const CMat m = u.hermitian() * target;  // d x d
+  CMat m;
+  linalg::mul_hermitian_into(u, target, m);  // d x d
   const linalg::Svd d = linalg::svd(m);
   return d.u * d.v.hermitian();
 }
@@ -35,10 +36,10 @@ struct QuantizedMat {
 };
 
 // Quantizes every real scalar of `m` to the step grid; cost = 4-bit width
-// field + 2 * rows * cols * width bits.
-QuantizedMat quantize(const CMat& m, double step) {
-  QuantizedMat out;
-  out.values = CMat(m.rows(), m.cols());
+// field + 2 * rows * cols * width bits. Destination-passing so callers can
+// reuse one QuantizedMat across a whole 52-subcarrier sweep.
+void quantize_into(const CMat& m, double step, QuantizedMat& out) {
+  out.values.resize_zero(m.rows(), m.cols());
   long maxq = 0;
   for (std::size_t r = 0; r < m.rows(); ++r) {
     for (std::size_t c = 0; c < m.cols(); ++c) {
@@ -51,7 +52,6 @@ QuantizedMat quantize(const CMat& m, double step) {
   }
   const std::size_t width = bits_for(maxq);
   out.bits = 4 + 2 * m.rows() * m.cols() * width;
-  return out;
 }
 
 }  // namespace
@@ -65,6 +65,10 @@ CompressedAlignment compress_alignment(const std::vector<CMat>& bases,
   CompressedAlignment out;
   out.reconstructed.assign(bases.size(), CMat{});
 
+  // Workspace reused across the 52-subcarrier sweep.
+  QuantizedMat q;
+  CMat aligned;
+
   const CMat* prev_recon = nullptr;
   for (std::size_t i = 0; i < bases.size(); ++i) {
     const CMat& u = bases[i];
@@ -73,16 +77,16 @@ CompressedAlignment compress_alignment(const std::vector<CMat>& bases,
     if (prev_recon == nullptr || prev_recon->rows() != u.rows() ||
         prev_recon->cols() != u.cols()) {
       // Base subcarrier: quantize the full basis.
-      const QuantizedMat q = quantize(u, config.step);
+      quantize_into(u, config.step, q);
       out.base_bits += q.bits;
       out.reconstructed[i] = q.values;
     } else {
       // Differential subcarrier: rotate to match the previous
       // reconstruction, then encode the (small) difference.
       const CMat rot = procrustes_rotation(u, *prev_recon);
-      const CMat aligned = u * rot;
-      const CMat diff = aligned - *prev_recon;
-      const QuantizedMat q = quantize(diff, config.step);
+      linalg::mul_into(u, rot, aligned);
+      aligned -= *prev_recon;
+      quantize_into(aligned, config.step, q);
       out.diff_bits += q.bits;
       out.reconstructed[i] = *prev_recon + q.values;
     }
@@ -95,9 +99,11 @@ CompressedAlignment compress_alignment(const std::vector<CMat>& bases,
 std::size_t raw_alignment_bits(const std::vector<CMat>& bases,
                                const CompressionConfig& config) {
   std::size_t bits = 0;
+  QuantizedMat q;
   for (const auto& u : bases) {
     if (u.empty()) continue;
-    bits += quantize(u, config.step).bits;
+    quantize_into(u, config.step, q);
+    bits += q.bits;
   }
   return bits;
 }

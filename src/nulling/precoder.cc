@@ -24,16 +24,35 @@ std::size_t max_join_streams(std::size_t n_antennas,
 
 namespace {
 
-// Stacks every receiver's constraint rows: U^perp_j H_j, a (sum n_j) x M
-// matrix.
-CMat stack_constraints(std::size_t n_antennas,
-                       const std::vector<OngoingReceiver>& ongoing) {
-  CMat stacked(0, n_antennas);
+// Writes every receiver's constraint rows U^perp_j H_j into `stacked`
+// starting at row `at`; returns the row index past the last one written.
+// `stacked` must already be sized; no per-receiver temporaries survive the
+// call (`rows` is a reused workspace for the product).
+std::size_t stack_constraints_at(CMat& stacked, std::size_t at,
+                                 const std::vector<OngoingReceiver>& ongoing) {
+  const std::size_t n_antennas = stacked.cols();
+  CMat rows;
   for (const auto& rx : ongoing) {
     assert(rx.channel.cols() == n_antennas);
-    const CMat rows = rx.wanted_space * rx.channel;  // n_j x M
-    stacked = stacked.vstack(rows);
+    linalg::mul_into(rx.wanted_space, rx.channel, rows);  // n_j x M
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      for (std::size_t c = 0; c < n_antennas; ++c) {
+        stacked(at + r, c) = rows(r, c);
+      }
+    }
+    at += rows.rows();
   }
+  return at;
+}
+
+// Stacks every receiver's constraint rows into a fresh (sum n_j) x M
+// matrix, sized once up front instead of repeated vstack reallocation.
+CMat stack_constraints(std::size_t n_antennas,
+                       const std::vector<OngoingReceiver>& ongoing) {
+  std::size_t total_rows = 0;
+  for (const auto& rx : ongoing) total_rows += rx.constraint_rows();
+  CMat stacked(total_rows, n_antennas);
+  stack_constraints_at(stacked, 0, ongoing);
   return stacked;
 }
 
@@ -95,19 +114,28 @@ std::optional<PrecoderResult> compute_multi_rx_precoder(
 
   // System matrix A (M x M): ongoing constraint rows on top, own-receiver
   // rows below; right-hand side: zeros on top, stream-routing identity
-  // below (Eq. 7).
-  CMat a = stack_constraints(n_antennas, ongoing);
-  CMat rhs = CMat::zeros(k_rows, m_streams);
+  // below (Eq. 7). Both are sized once up front instead of growing through
+  // repeated vstack copies.
+  std::size_t own_rows = 0;
+  for (const auto& rx : own) own_rows += rx.wanted_space.rows();
+  CMat a(k_rows + own_rows, n_antennas);
+  CMat rhs(k_rows + own_rows, m_streams);
+  CMat rows;
+  std::size_t at = stack_constraints_at(a, 0, ongoing);
+  assert(at == k_rows);
   for (const auto& rx : own) {
     assert(rx.channel.cols() == n_antennas);
-    const CMat rows = rx.wanted_space * rx.channel;  // n' x M
-    a = a.vstack(rows);
-    CMat sel = CMat::zeros(rows.rows(), m_streams);
+    linalg::mul_into(rx.wanted_space, rx.channel, rows);  // n' x M
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      for (std::size_t c = 0; c < n_antennas; ++c) {
+        a(at + r, c) = rows(r, c);
+      }
+    }
     for (std::size_t r = 0; r < rx.stream_ids.size(); ++r) {
       assert(rx.stream_ids[r] < m_streams);
-      sel(r, rx.stream_ids[r]) = linalg::cdouble{1.0, 0.0};
+      rhs(at + r, rx.stream_ids[r]) = linalg::cdouble{1.0, 0.0};
     }
-    rhs = rhs.vstack(sel);
+    at += rows.rows();
   }
   assert(a.cols() == n_antennas);
 

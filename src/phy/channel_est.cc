@@ -1,5 +1,6 @@
 #include "phy/channel_est.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include <map>
@@ -14,29 +15,34 @@ namespace nplus::phy {
 
 ChannelEstimate estimate_from_ltf(const Samples& rx, std::size_t ltf_offset,
                                   const OfdmParams& params) {
+  ChannelEstimate est;
+  std::vector<cdouble> scratch;
+  estimate_from_ltf_into(rx, ltf_offset,
+                         nplus::dsp::shared_plan(params.scaled_fft()), scratch,
+                         est, params);
+  return est;
+}
+
+void estimate_from_ltf_into(const Samples& rx, std::size_t ltf_offset,
+                            const dsp::FftPlan& plan,
+                            std::vector<cdouble>& scratch, ChannelEstimate& out,
+                            const OfdmParams& params) {
   // LTF layout: [2*cp CP][symbol 1][symbol 2]; FFT windows start after the
-  // double CP. We reuse ofdm_demod_bins by pointing its (cp + fft) window
-  // such that the FFT section lands on each symbol: pass offset so that
-  // offset + cp == symbol start.
+  // double CP. The LTF symbols carry no data CP of their own, so the
+  // demodulator windows land directly on the symbol starts; both windows go
+  // into one scratch buffer and through one batched transform.
   const std::size_t cp = params.scaled_cp();
   const std::size_t n = params.scaled_fft();
   const std::size_t sym1 = ltf_offset + 2 * cp;
-  const std::size_t sym2 = sym1 + n;
-  assert(sym2 + n <= rx.size());
+  assert(sym1 + 2 * n <= rx.size());
+  assert(plan.size() == n);
 
-  // ofdm_demod_bins skips `cp` samples after the given offset and applies
-  // the data-symbol gain normalization; the LTF time signal was normalized
-  // to unit power in preamble.cc, matching the data-symbol normalization,
-  // but the gain factor differs: LTF uses 52 unit bins / unit-power time
-  // signal. Compute bins directly here instead for clarity.
-  auto bins_at = [&](std::size_t start) {
-    std::vector<cdouble> window(rx.begin() + static_cast<long>(start),
-                                rx.begin() + static_cast<long>(start + n));
-    nplus::dsp::fft_inplace(window);
-    return window;
-  };
-  const auto b1 = bins_at(sym1);
-  const auto b2 = bins_at(sym2);
+  scratch.resize(2 * n);
+  std::copy(rx.begin() + static_cast<long>(sym1),
+            rx.begin() + static_cast<long>(sym1 + 2 * n), scratch.begin());
+  plan.forward_batch(scratch.data(), 2);
+  const cdouble* b1 = scratch.data();
+  const cdouble* b2 = scratch.data() + n;
 
   // The time-domain LTF was normalized to unit mean power: for 52 unit bins
   // the raw IFFT output has mean power 52/n^2, so the normalization factor
@@ -45,17 +51,19 @@ ChannelEstimate estimate_from_ltf(const Samples& rx, std::size_t ltf_offset,
   const double g = static_cast<double>(n) /
                    std::sqrt(static_cast<double>(params.used_subcarriers()));
 
-  ChannelEstimate est;
   const auto& lf = ltf_freq();
   for (int k = -26; k <= 26; ++k) {
     if (k == 0) continue;
     const cdouble l = lf[static_cast<std::size_t>(k + 26)];
-    if (l == cdouble{0.0, 0.0}) continue;
+    if (l == cdouble{0.0, 0.0}) {
+      out.at(k) = cdouble{0.0, 0.0};
+      continue;
+    }
     const std::size_t bin = subcarrier_bin(k, n);
     const cdouble avg = 0.5 * (b1[bin] + b2[bin]);
-    est.at(k) = avg / (l * g);
+    out.at(k) = avg / (l * g);
   }
-  return est;
+  out.at(0) = cdouble{0.0, 0.0};
 }
 
 ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
@@ -89,15 +97,18 @@ ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
     it = cache.emplace(key, Basis{f, la::pinv(f)}).first;
   }
 
-  // h_taps = F^+ h_subcarriers; smoothed = F h_taps.
-  la::CVec obs(52);
+  // h_taps = F^+ h_subcarriers; smoothed = F h_taps. The 52-element
+  // observation vector exceeds the inline-buffer capacity, so reuse
+  // thread-lifetime workspace instead of reallocating per call.
+  static thread_local la::CVec obs, taps, smoothed;
+  obs.resize(52);
   std::size_t idx = 0;
   for (int k = -26; k <= 26; ++k) {
     if (k == 0) continue;
     obs[idx++] = est.at(k);
   }
-  const la::CVec taps = it->second.f_pinv * obs;
-  const la::CVec smoothed = it->second.f * taps;
+  la::mul_into(it->second.f_pinv, obs, taps);
+  la::mul_into(it->second.f, taps, smoothed);
 
   ChannelEstimate out;
   idx = 0;

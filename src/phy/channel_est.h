@@ -11,6 +11,7 @@
 #include <complex>
 #include <vector>
 
+#include "dsp/fft.h"
 #include "phy/ofdm_params.h"
 
 namespace nplus::phy {
@@ -31,6 +32,15 @@ struct ChannelEstimate {
 // `ltf_offset` in `rx` (i.e. the first sample of the double CP).
 ChannelEstimate estimate_from_ltf(const Samples& rx, std::size_t ltf_offset,
                                   const OfdmParams& params = {});
+
+// Destination-passing variant for hot loops: `plan` must be sized
+// scaled_fft(); `scratch` holds the two LTF symbol windows (resized to
+// 2 * scaled_fft()). Zero allocations once the buffers have capacity.
+void estimate_from_ltf_into(const Samples& rx, std::size_t ltf_offset,
+                            const dsp::FftPlan& plan,
+                            std::vector<cdouble>& scratch,
+                            ChannelEstimate& out,
+                            const OfdmParams& params = {});
 
 // Mean squared magnitude of the estimate over used subcarriers (channel
 // power gain; useful for SNR bookkeeping).

@@ -128,28 +128,44 @@ std::vector<double> depuncture(const std::vector<double>& in, std::size_t n_in,
   return out;
 }
 
-Bits viterbi_core(const std::vector<double>& llr_full, std::size_t n_out) {
-  // llr_full has 2 entries (A, B) per input bit; llr > 0 favors bit value 0.
-  assert(llr_full.size() >= 2 * n_out);
+// Flattened 64-state trellis, built once at first decode. Entry s*2+in
+// holds the successor state, the output-pair index (a<<1)|b selecting one
+// of the four per-step branch metrics, and the packed traceback decision.
+// The trellis depends only on the mother code (g0/g1), not on the CodeRate —
+// puncturing is handled entirely by depuncture(), so one table serves every
+// rate.
+struct Trellis {
+  std::array<std::uint8_t, kStates * 2> next;
+  std::array<std::uint8_t, kStates * 2> out_idx;
+  std::array<std::uint8_t, kStates * 2> decision;
+};
 
-  struct Trans {
-    int next;
-    double metric0;  // metric contribution if output bits were (a, b)
-  };
-
-  // Precompute per-state outputs for input 0 and 1.
-  static std::array<std::array<std::uint8_t, 2>, kStates * 2> outputs = [] {
-    std::array<std::array<std::uint8_t, 2>, kStates * 2> o{};
+const Trellis& trellis() {
+  static const Trellis t = [] {
+    Trellis tr{};
     for (int s = 0; s < kStates; ++s) {
       for (int in = 0; in < 2; ++in) {
         const unsigned reg =
             (static_cast<unsigned>(in) << 6) | static_cast<unsigned>(s);
-        o[static_cast<std::size_t>(s * 2 + in)] = {parity7(reg & kG0),
-                                                   parity7(reg & kG1)};
+        const std::size_t i = static_cast<std::size_t>(s * 2 + in);
+        tr.next[i] = static_cast<std::uint8_t>(reg >> 1);
+        tr.out_idx[i] = static_cast<std::uint8_t>(
+            (parity7(reg & kG0) << 1) | parity7(reg & kG1));
+        // Record the predecessor state's dropped bit + input bit; the
+        // predecessor is recoverable as ((next << 1) | dropped_bit) & 0x3F.
+        tr.decision[i] = static_cast<std::uint8_t>(((s & 1) << 1) | in);
       }
     }
-    return o;
+    return tr;
   }();
+  return t;
+}
+
+Bits viterbi_core(const std::vector<double>& llr_full, std::size_t n_out) {
+  // llr_full has 2 entries (A, B) per input bit; llr > 0 favors bit value 0.
+  assert(llr_full.size() >= 2 * n_out);
+
+  const Trellis& tr = trellis();
 
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   std::vector<double> metric(kStates, kNegInf);
@@ -161,23 +177,21 @@ Bits viterbi_core(const std::vector<double>& llr_full, std::size_t n_out) {
   for (std::size_t t = 0; t < n_out; ++t) {
     const double la = llr_full[2 * t];
     const double lb = llr_full[2 * t + 1];
+    // Correlation metric: +llr if the coded bit is 0, -llr if it is 1. Only
+    // four (a, b) output pairs exist, so compute all four branch metrics
+    // once per step instead of per transition.
+    const std::array<double, 4> bm = {la + lb, la - lb, -la + lb, -la - lb};
     std::fill(next_metric.begin(), next_metric.end(), kNegInf);
     std::uint8_t* dec = &decisions[t * kStates];
     for (int s = 0; s < kStates; ++s) {
       if (metric[s] == kNegInf) continue;
       for (int in = 0; in < 2; ++in) {
-        const auto& ob = outputs[static_cast<std::size_t>(s * 2 + in)];
-        // Correlation metric: +llr if the coded bit is 0, -llr if it is 1.
-        const double m = metric[s] + (ob[0] ? -la : la) + (ob[1] ? -lb : lb);
-        const unsigned reg =
-            (static_cast<unsigned>(in) << 6) | static_cast<unsigned>(s);
-        const int next = static_cast<int>(reg >> 1);
+        const std::size_t i = static_cast<std::size_t>(s * 2 + in);
+        const double m = metric[s] + bm[tr.out_idx[i]];
+        const int next = tr.next[i];
         if (m > next_metric[next]) {
           next_metric[next] = m;
-          // Record the predecessor state's low 6 bits + input bit; the
-          // predecessor is recoverable as ((next << 1) | dropped_bit) & 0x3F,
-          // so we only need to store the dropped bit and the input bit.
-          dec[next] = static_cast<std::uint8_t>(((s & 1) << 1) | in);
+          dec[next] = tr.decision[i];
         }
       }
     }

@@ -1,5 +1,6 @@
 #include "phy/ofdm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -29,15 +30,20 @@ const std::vector<double>& pilot_pattern() {
   return p;
 }
 
-Samples ofdm_modulate_symbol(const std::vector<cdouble>& data48,
-                             std::size_t symbol_index,
-                             const OfdmParams& params) {
-  assert(data48.size() == params.n_data_subcarriers);
+namespace {
+
+// Modulates data48[0..48) into `bins` (pre-sized to scaled_fft()) and
+// appends the CP-prefixed time symbol to `out`. Zero allocations beyond
+// `out` growth.
+void modulate_symbol_append(const cdouble* data48, std::size_t symbol_index,
+                            const OfdmParams& params,
+                            const nplus::dsp::FftPlan& plan,
+                            std::vector<cdouble>& bins, Samples& out) {
   const std::size_t n = params.scaled_fft();
-  std::vector<cdouble> bins(n, cdouble{0.0, 0.0});
+  std::fill(bins.begin(), bins.end(), cdouble{0.0, 0.0});
 
   static const auto data_sc = data_subcarriers();
-  for (std::size_t i = 0; i < data48.size(); ++i) {
+  for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
     bins[subcarrier_bin(data_sc[i], n)] = data48[i];
   }
   const double pol = pilot_polarity(symbol_index);
@@ -47,20 +53,33 @@ Samples ofdm_modulate_symbol(const std::vector<cdouble>& data48,
         cdouble{pol * pp[i], 0.0};
   }
 
-  Samples time = nplus::dsp::ifft(bins);
+  plan.inverse(bins.data());
   // Scale so average transmit power equals the average data-symbol power:
   // IFFT of 52 unit-power bins over n samples has power 52/n^2 * n... we
   // normalize to mean power ~= 1 across the symbol for convenience.
   const double g = std::sqrt(static_cast<double>(n) /
-                             static_cast<double>(params.used_subcarriers()));
-  for (auto& v : time) v *= g * std::sqrt(static_cast<double>(n));
+                             static_cast<double>(params.used_subcarriers())) *
+                   std::sqrt(static_cast<double>(n));
+  for (auto& v : bins) v *= g;
 
-  // Prepend CP.
+  // Append CP, then the symbol body.
   const std::size_t cp = params.scaled_cp();
+  out.insert(out.end(), bins.end() - static_cast<long>(cp), bins.end());
+  out.insert(out.end(), bins.begin(), bins.end());
+}
+
+}  // namespace
+
+Samples ofdm_modulate_symbol(const std::vector<cdouble>& data48,
+                             std::size_t symbol_index,
+                             const OfdmParams& params) {
+  assert(data48.size() == params.n_data_subcarriers);
+  const std::size_t n = params.scaled_fft();
+  std::vector<cdouble> bins(n);
   Samples out;
-  out.reserve(cp + n);
-  out.insert(out.end(), time.end() - static_cast<long>(cp), time.end());
-  out.insert(out.end(), time.begin(), time.end());
+  out.reserve(params.symbol_len());
+  modulate_symbol_append(data48.data(), symbol_index, params,
+                         nplus::dsp::shared_plan(n), bins, out);
   return out;
 }
 
@@ -69,35 +88,81 @@ Samples ofdm_modulate(const std::vector<cdouble>& data,
                       const OfdmParams& params) {
   assert(data.size() % params.n_data_subcarriers == 0);
   const std::size_t n_sym = data.size() / params.n_data_subcarriers;
+  const auto& plan = nplus::dsp::shared_plan(params.scaled_fft());
+  std::vector<cdouble> bins(params.scaled_fft());
   Samples out;
   out.reserve(n_sym * params.symbol_len());
   for (std::size_t s = 0; s < n_sym; ++s) {
-    const std::vector<cdouble> chunk(
-        data.begin() + static_cast<long>(s * params.n_data_subcarriers),
-        data.begin() + static_cast<long>((s + 1) * params.n_data_subcarriers));
-    const Samples sym =
-        ofdm_modulate_symbol(chunk, first_symbol_index + s, params);
-    out.insert(out.end(), sym.begin(), sym.end());
+    modulate_symbol_append(data.data() + s * params.n_data_subcarriers,
+                           first_symbol_index + s, params, plan, bins, out);
   }
   return out;
 }
 
+namespace {
+
+// Inverse of the modulator scaling so a flat unit channel returns the
+// original constellation points.
+double demod_gain(const OfdmParams& params) {
+  const std::size_t n = params.scaled_fft();
+  return 1.0 / (std::sqrt(static_cast<double>(n) /
+                          static_cast<double>(params.used_subcarriers())) *
+                std::sqrt(static_cast<double>(n)));
+}
+
+}  // namespace
+
 std::vector<cdouble> ofdm_demod_bins(const Samples& rx, std::size_t offset,
                                      const OfdmParams& params) {
+  std::vector<cdouble> out;
+  ofdm_demod_bins_into(rx, offset, nplus::dsp::shared_plan(params.scaled_fft()),
+                       out, params);
+  return out;
+}
+
+void ofdm_demod_bins_into(const Samples& rx, std::size_t offset,
+                          const dsp::FftPlan& plan, std::vector<cdouble>& out,
+                          const OfdmParams& params) {
   const std::size_t n = params.scaled_fft();
   const std::size_t cp = params.scaled_cp();
+  assert(plan.size() == n);
   assert(offset + cp + n <= rx.size());
-  std::vector<cdouble> window(rx.begin() + static_cast<long>(offset + cp),
-                              rx.begin() + static_cast<long>(offset + cp + n));
-  nplus::dsp::fft_inplace(window);
-  // Undo the modulator scaling so a flat unit channel returns the original
-  // constellation points.
-  const double g = 1.0 / (std::sqrt(static_cast<double>(n) /
-                                    static_cast<double>(
-                                        params.used_subcarriers())) *
-                          std::sqrt(static_cast<double>(n)));
-  for (auto& v : window) v *= g;
-  return window;
+  out.resize(n);
+  std::copy(rx.begin() + static_cast<long>(offset + cp),
+            rx.begin() + static_cast<long>(offset + cp + n), out.begin());
+  plan.forward(out.data());
+  const double g = demod_gain(params);
+  for (auto& v : out) v *= g;
+}
+
+std::size_t ofdm_demod_symbols_into(const Samples& rx, std::size_t offset,
+                                    std::size_t n_symbols,
+                                    const dsp::FftPlan& plan,
+                                    std::vector<cdouble>& out,
+                                    const OfdmParams& params) {
+  const std::size_t n = params.scaled_fft();
+  const std::size_t cp = params.scaled_cp();
+  const std::size_t sym_len = params.symbol_len();
+  assert(plan.size() == n);
+  out.resize(n_symbols * n);
+
+  std::size_t fit = 0;
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const std::size_t off = offset + s * sym_len;
+    if (off + sym_len > rx.size()) break;
+    std::copy(rx.begin() + static_cast<long>(off + cp),
+              rx.begin() + static_cast<long>(off + cp + n),
+              out.begin() + static_cast<long>(s * n));
+    ++fit;
+  }
+  // Only the tail past the last fitting symbol needs zeroing; the fit
+  // windows were just overwritten.
+  std::fill(out.begin() + static_cast<long>(fit * n), out.end(),
+            cdouble{0.0, 0.0});
+  plan.forward_batch(out.data(), fit);
+  const double g = demod_gain(params);
+  for (std::size_t i = 0; i < fit * n; ++i) out[i] *= g;
+  return fit;
 }
 
 std::vector<cdouble> extract_data(const std::vector<cdouble>& bins,

@@ -11,6 +11,7 @@
 #include <complex>
 #include <vector>
 
+#include "dsp/fft.h"
 #include "phy/ofdm_params.h"
 
 namespace nplus::phy {
@@ -42,6 +43,25 @@ Samples ofdm_modulate(const std::vector<cdouble>& data,
 // subcarrier_bin().
 std::vector<cdouble> ofdm_demod_bins(const Samples& rx, std::size_t offset,
                                      const OfdmParams& params = {});
+
+// Destination-passing variant for hot loops: demodulates into `out`
+// (resized to scaled_fft(); zero allocations once `out` has capacity) using
+// a caller-held plan of size scaled_fft().
+void ofdm_demod_bins_into(const Samples& rx, std::size_t offset,
+                          const dsp::FftPlan& plan, std::vector<cdouble>& out,
+                          const OfdmParams& params = {});
+
+// Batched demodulation of `n_symbols` consecutive symbols starting at
+// `offset`: strips each CP, lays the FFT windows back-to-back in `out`
+// (resized to n_symbols * scaled_fft()), and runs one batched transform.
+// Returns the number of symbols that fully fit inside `rx`; bins of symbols
+// past the end are zero-filled. This is how the receiver transforms all
+// OFDM symbols of a frame in one pass.
+std::size_t ofdm_demod_symbols_into(const Samples& rx, std::size_t offset,
+                                    std::size_t n_symbols,
+                                    const dsp::FftPlan& plan,
+                                    std::vector<cdouble>& out,
+                                    const OfdmParams& params = {});
 
 // Extracts the 48 data-subcarrier values from a bin vector, in the same
 // order used by ofdm_modulate_symbol.

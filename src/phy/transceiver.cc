@@ -1,5 +1,6 @@
 #include "phy/transceiver.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -22,23 +23,28 @@ double time_scale(const OfdmParams& params) {
   return n / std::sqrt(static_cast<double>(params.used_subcarriers()));
 }
 
-// IFFT of 53 logical-subcarrier values into a CP-prefixed symbol.
-Samples logical_to_time(const std::vector<cdouble>& logical,
-                        std::size_t cp_len, const OfdmParams& params) {
+// IFFT of 53 logical-subcarrier values appended to `out` as a CP-prefixed
+// symbol (cp_len may be 0). `bins` is caller-held scaled_fft()-sized
+// scratch; with it and a caller-held plan the per-symbol synthesis performs
+// zero heap allocations beyond `out` growth (and none at all once `out` is
+// reserved).
+void append_logical_symbol(const std::vector<cdouble>& logical,
+                           std::size_t cp_len, const OfdmParams& params,
+                           const dsp::FftPlan& plan, std::vector<cdouble>& bins,
+                           Samples& out) {
   const std::size_t n = params.scaled_fft();
-  std::vector<cdouble> bins(n, cdouble{0.0, 0.0});
+  std::fill(bins.begin(), bins.end(), cdouble{0.0, 0.0});
   for (int k = -26; k <= 26; ++k) {
     if (k == 0) continue;
     bins[subcarrier_bin(k, n)] = logical[static_cast<std::size_t>(k + 26)];
   }
-  Samples time = nplus::dsp::ifft(bins);
+  plan.inverse(bins.data());
   const double c = time_scale(params);
-  for (auto& v : time) v *= c;
-  Samples out;
-  out.reserve(cp_len + n);
-  out.insert(out.end(), time.end() - static_cast<long>(cp_len), time.end());
-  out.insert(out.end(), time.begin(), time.end());
-  return out;
+  for (auto& v : bins) v *= c;
+  if (cp_len > 0) {
+    out.insert(out.end(), bins.end() - static_cast<long>(cp_len), bins.end());
+  }
+  out.insert(out.end(), bins.begin(), bins.end());
 }
 
 }  // namespace
@@ -96,13 +102,20 @@ TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
   const std::size_t n = params.scaled_fft();
   const std::size_t cp = params.scaled_cp();
 
+  // Workspace hoisted out of every per-antenna / per-symbol loop below.
+  const dsp::FftPlan& fft_plan = dsp::shared_plan(n);
+  std::vector<cdouble> bins(n);
+  std::vector<cdouble> logical(53);
+  Samples sym;
+  sym.reserve(2 * cp + n);
+
   // --- STF, precoded with stream 0's vectors (sqrt(2) boost equalizes the
   // 12-carrier STF power with the 52-carrier sections). One 64-sample period
   // tiled to 10 short symbols (2.5 periods).
   {
     const auto& sf = stf_freq();
     for (std::size_t a = 0; a < n_ant; ++a) {
-      std::vector<cdouble> logical(53, cdouble{0.0, 0.0});
+      std::fill(logical.begin(), logical.end(), cdouble{0.0, 0.0});
       for (int k = -26; k <= 26; ++k) {
         if (k == 0) continue;
         const cdouble s = sf[static_cast<std::size_t>(k + 26)];
@@ -110,14 +123,13 @@ TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
         logical[static_cast<std::size_t>(k + 26)] =
             std::sqrt(2.0) * s * plan.at(k)(a, 0);
       }
-      const Samples sym = logical_to_time(logical, 0, params);  // no CP
-      Samples stf;
-      stf.reserve(10 * (n / 4));
+      sym.clear();
+      append_logical_symbol(logical, 0, params, fft_plan, bins, sym);
       // 2 full periods + half period = 160 samples at n = 64.
-      stf.insert(stf.end(), sym.begin(), sym.end());
-      stf.insert(stf.end(), sym.begin(), sym.end());
-      stf.insert(stf.end(), sym.begin(), sym.begin() + static_cast<long>(n / 2));
-      frame.antennas[a] = std::move(stf);
+      auto& out = frame.antennas[a];
+      out.insert(out.end(), sym.begin(), sym.end());
+      out.insert(out.end(), sym.begin(), sym.end());
+      out.insert(out.end(), sym.begin(), sym.begin() + static_cast<long>(n / 2));
     }
   }
 
@@ -125,21 +137,19 @@ TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
   const auto& lf = ltf_freq();
   for (std::size_t i = 0; i < n_streams; ++i) {
     for (std::size_t a = 0; a < n_ant; ++a) {
-      std::vector<cdouble> logical(53, cdouble{0.0, 0.0});
+      std::fill(logical.begin(), logical.end(), cdouble{0.0, 0.0});
       for (int k = -26; k <= 26; ++k) {
         if (k == 0) continue;
         logical[static_cast<std::size_t>(k + 26)] =
             lf[static_cast<std::size_t>(k + 26)] * plan.at(k)(a, i);
       }
+      sym.clear();
+      append_logical_symbol(logical, 0, params, fft_plan, bins, sym);
       // Double CP + two symbol repetitions.
-      const Samples sym = logical_to_time(logical, 0, params);
-      Samples slot;
-      slot.reserve(2 * cp + 2 * n);
-      slot.insert(slot.end(), sym.end() - static_cast<long>(2 * cp), sym.end());
-      slot.insert(slot.end(), sym.begin(), sym.end());
-      slot.insert(slot.end(), sym.begin(), sym.end());
       auto& out = frame.antennas[a];
-      out.insert(out.end(), slot.begin(), slot.end());
+      out.insert(out.end(), sym.end() - static_cast<long>(2 * cp), sym.end());
+      out.insert(out.end(), sym.begin(), sym.end());
+      out.insert(out.end(), sym.begin(), sym.end());
     }
   }
 
@@ -149,7 +159,7 @@ TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
     const double pol = pilot_polarity(t);
     const auto& pp = pilot_pattern();
     for (std::size_t a = 0; a < n_ant; ++a) {
-      std::vector<cdouble> logical(53, cdouble{0.0, 0.0});
+      std::fill(logical.begin(), logical.end(), cdouble{0.0, 0.0});
       // Data subcarriers: superpose all streams through the precoder.
       for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
         const int k = data_sc[i];
@@ -157,9 +167,9 @@ TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
         for (std::size_t j = 0; j < n_streams; ++j) {
           const auto& sj = stream_symbols[j];
           const std::size_t idx = t * params.n_data_subcarriers + i;
-          const cdouble sym =
+          const cdouble sym_val =
               idx < sj.size() ? sj[idx] : cdouble{0.0, 0.0};
-          acc += plan.at(k)(a, j) * sym;
+          acc += plan.at(k)(a, j) * sym_val;
         }
         logical[static_cast<std::size_t>(k + 26)] = acc;
       }
@@ -170,9 +180,8 @@ TxFrame build_tx_frame(const std::vector<std::vector<cdouble>>& stream_symbols,
         logical[static_cast<std::size_t>(k + 26)] =
             plan.at(k)(a, 0) * cdouble{pol * pp[i], 0.0};
       }
-      const Samples sym = logical_to_time(logical, cp, params);
-      auto& out = frame.antennas[a];
-      out.insert(out.end(), sym.begin(), sym.end());
+      append_logical_symbol(logical, cp, params, fft_plan, bins,
+                            frame.antennas[a]);
     }
   }
   return frame;
@@ -197,11 +206,17 @@ EffectiveChannels estimate_effective_channels(const std::vector<Samples>& rx,
   const std::size_t stf = 10 * (params.scaled_fft() / 4);
   const std::size_t slot = 2 * params.scaled_cp() + 2 * params.scaled_fft();
 
+  // Per-call workspace: one plan, one scratch buffer, one estimate reused
+  // across all (stream, antenna) pairs.
+  const dsp::FftPlan& plan = dsp::shared_plan(params.scaled_fft());
+  std::vector<cdouble> scratch;
+  ChannelEstimate est;
+
   EffectiveChannels channels(53, CMat(n_rx, n_streams));
   for (std::size_t i = 0; i < n_streams; ++i) {
     const std::size_t off = frame_start + stf + i * slot;
     for (std::size_t a = 0; a < n_rx; ++a) {
-      const ChannelEstimate est = estimate_from_ltf(rx[a], off, params);
+      estimate_from_ltf_into(rx[a], off, plan, scratch, est, params);
       for (int k = -26; k <= 26; ++k) {
         if (k == 0) continue;
         channels[static_cast<std::size_t>(k + 26)](a, i) = est.at(k);
@@ -283,6 +298,14 @@ std::vector<SubcarrierEq> make_projected_equalizers(
     g_proj[ki] = CMat(w[ki].cols(), n_streams);
   }
 
+  // Workspace hoisted out of the per-stream / per-repetition / per-
+  // subcarrier loops: the FFT windows of all antennas (transformed in one
+  // batch), the received vector, and its projected coordinates.
+  const dsp::FftPlan& plan = dsp::shared_plan(n);
+  std::vector<cdouble> bins(n_rx * n);
+  CVec y;
+  CVec proj;
+
   for (std::size_t i = 0; i < n_streams; ++i) {
     const std::size_t slot_off = frame_start + stf + i * slot;
     // Two repeated LTF symbols after the double CP.
@@ -290,24 +313,23 @@ std::vector<SubcarrierEq> make_projected_equalizers(
       const std::size_t sym_off =
           slot_off + 2 * cp + static_cast<std::size_t>(rep) * n;
       if (sym_off + n > rx[0].size()) return {};
-      std::vector<std::vector<cdouble>> bins(n_rx);
       for (std::size_t a = 0; a < n_rx; ++a) {
-        std::vector<cdouble> window(
-            rx[a].begin() + static_cast<long>(sym_off),
-            rx[a].begin() + static_cast<long>(sym_off + n));
-        nplus::dsp::fft_inplace(window);
-        bins[a] = std::move(window);
+        std::copy(rx[a].begin() + static_cast<long>(sym_off),
+                  rx[a].begin() + static_cast<long>(sym_off + n),
+                  bins.begin() + static_cast<long>(a * n));
       }
+      plan.forward_batch(bins.data(), n_rx);
       for (int k = -26; k <= 26; ++k) {
         if (k == 0) continue;
         const std::size_t ki = static_cast<std::size_t>(k + 26);
         const cdouble l = lf[ki];
         if (l == cdouble{0.0, 0.0}) continue;
-        CVec y(n_rx);
+        const std::size_t bin = subcarrier_bin(k, n);
+        y.resize(n_rx);
         for (std::size_t a = 0; a < n_rx; ++a) {
-          y[a] = bins[a][subcarrier_bin(k, n)];
+          y[a] = bins[a * n + bin];
         }
-        const CVec proj = w[ki].hermitian() * y;
+        linalg::coordinates_in_into(w[ki], y, proj);
         for (std::size_t d = 0; d < proj.size(); ++d) {
           g_proj[ki](d, i) += proj[d] / (l * scale) * cdouble{0.5, 0.0};
         }
@@ -322,6 +344,54 @@ std::vector<SubcarrierEq> make_projected_equalizers(
     eq[ki] = equalizer_from_projected(w[ki], g_proj[ki]);
   }
   return eq;
+}
+
+// Demodulates every antenna's data symbols in one batched transform each;
+// returns the number of symbols that fully fit on all antennas.
+std::size_t demod_all_antennas(const std::vector<Samples>& rx,
+                               std::size_t data_off, std::size_t n_syms,
+                               const dsp::FftPlan& plan,
+                               std::vector<std::vector<cdouble>>& all_bins,
+                               const OfdmParams& params) {
+  all_bins.resize(rx.size());
+  std::size_t fit = n_syms;
+  for (std::size_t a = 0; a < rx.size(); ++a) {
+    fit = std::min(fit, ofdm_demod_symbols_into(rx[a], data_off, n_syms, plan,
+                                                all_bins[a], params));
+  }
+  return fit;
+}
+
+// Gathers the cross-antenna receive vector of one subcarrier bin of symbol
+// t into `y` (allocation-free once y has capacity).
+void gather_rx_vector(const std::vector<std::vector<cdouble>>& all_bins,
+                      std::size_t t, std::size_t n, std::size_t bin, CVec& y) {
+  y.resize(all_bins.size());
+  for (std::size_t a = 0; a < all_bins.size(); ++a) {
+    y[a] = all_bins[a][t * n + bin];
+  }
+}
+
+// Pilot-based common phase of symbol t: equalizes stream 0 at each pilot
+// subcarrier and returns the unit rotation undoing the common drift.
+// `y`/`s_hat` are caller workspace.
+cdouble pilot_phase_fix(const std::vector<SubcarrierEq>& eq,
+                        const std::vector<std::vector<cdouble>>& all_bins,
+                        std::size_t t, std::size_t n, CVec& y, CVec& s_hat) {
+  cdouble phase_acc{0.0, 0.0};
+  const double pol = pilot_polarity(t);
+  const auto& pp = pilot_pattern();
+  for (std::size_t pi = 0; pi < kPilotSubcarriers.size(); ++pi) {
+    const int k = kPilotSubcarriers[pi];
+    const std::size_t ki = static_cast<std::size_t>(k + 26);
+    if (!eq[ki].ok) continue;
+    gather_rx_vector(all_bins, t, n, subcarrier_bin(k, n), y);
+    linalg::mul_into(eq[ki].combiner, y, s_hat);
+    phase_acc += s_hat[0] * std::conj(cdouble{pol * pp[pi], 0.0});
+  }
+  return std::abs(phase_acc) > 0.0
+             ? std::conj(phase_acc / std::abs(phase_acc))
+             : cdouble{1.0, 0.0};
 }
 
 }  // namespace
@@ -346,8 +416,7 @@ DecodeResult decode_frame(const std::vector<Samples>& rx,
   if (eq.empty()) return result;
 
   static const auto data_sc = data_subcarriers();
-  const std::size_t n_rx = rx.size();
-  const std::size_t sym_len = params.symbol_len();
+  const std::size_t n = params.scaled_fft();
   const std::size_t data_off = frame_start + 10 * (params.scaled_fft() / 4) +
                                n_streams * (2 * params.scaled_cp() +
                                             2 * params.scaled_fft());
@@ -358,41 +427,26 @@ DecodeResult decode_frame(const std::vector<Samples>& rx,
     n_syms = std::max(n_syms, encoded_symbol_count(b, mcs));
   }
 
+  // Demodulate every antenna's data symbols in one batched transform each.
+  const dsp::FftPlan& plan = dsp::shared_plan(n);
+  std::vector<std::vector<cdouble>> all_bins;
+  const std::size_t fit =
+      demod_all_antennas(rx, data_off, n_syms, plan, all_bins, params);
+
   // Collected per-stream symbol observations.
   std::vector<std::vector<cdouble>> obs(
       n_streams, std::vector<cdouble>(n_syms * params.n_data_subcarriers));
   std::vector<std::vector<double>> obs_nv(
       n_streams, std::vector<double>(n_syms * params.n_data_subcarriers, 1.0));
 
-  for (std::size_t t = 0; t < n_syms; ++t) {
-    const std::size_t off = data_off + t * sym_len;
-    if (off + sym_len > rx[0].size()) break;
-    // Demodulate all antennas.
-    std::vector<std::vector<cdouble>> bins(n_rx);
-    for (std::size_t a = 0; a < n_rx; ++a) {
-      bins[a] = ofdm_demod_bins(rx[a], off, params);
-    }
+  // Steady-state per-subcarrier workspace: the received vector and the
+  // equalized stream estimates. With these hoisted, one subcarrier
+  // iteration below performs zero heap allocations.
+  CVec y;
+  CVec s_hat;
 
-    // Pilot-based common phase: equalize stream 0 at each pilot subcarrier.
-    cdouble phase_acc{0.0, 0.0};
-    const double pol = pilot_polarity(t);
-    const auto& pp = pilot_pattern();
-    for (std::size_t pi = 0; pi < kPilotSubcarriers.size(); ++pi) {
-      const int k = kPilotSubcarriers[pi];
-      const std::size_t ki = static_cast<std::size_t>(k + 26);
-      if (!eq[ki].ok) continue;
-      CVec y(n_rx);
-      for (std::size_t a = 0; a < n_rx; ++a) {
-        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
-      }
-      const CVec s_hat = eq[ki].combiner * y;
-      const cdouble expected{pol * pp[pi], 0.0};
-      phase_acc += s_hat[0] * std::conj(expected);
-    }
-    const cdouble phase_fix =
-        std::abs(phase_acc) > 0.0
-            ? std::conj(phase_acc / std::abs(phase_acc))
-            : cdouble{1.0, 0.0};
+  for (std::size_t t = 0; t < fit; ++t) {
+    const cdouble phase_fix = pilot_phase_fix(eq, all_bins, t, n, y, s_hat);
 
     for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
       const int k = data_sc[i];
@@ -405,11 +459,8 @@ DecodeResult decode_frame(const std::vector<Samples>& rx,
         }
         continue;
       }
-      CVec y(n_rx);
-      for (std::size_t a = 0; a < n_rx; ++a) {
-        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
-      }
-      const CVec s_hat = eq[ki].combiner * y;
+      gather_rx_vector(all_bins, t, n, subcarrier_bin(k, n), y);
+      linalg::mul_into(eq[ki].combiner, y, s_hat);
       for (std::size_t j = 0; j < n_streams; ++j) {
         obs[j][idx] = s_hat[j] * phase_fix;
         obs_nv[j][idx] = std::max(noise_var * eq[ki].noise_gain[j], 1e-12);
@@ -462,53 +513,34 @@ std::vector<double> measure_stream_snr(
   }
 
   static const auto data_sc = data_subcarriers();
-  const std::size_t n_rx = rx.size();
-  const std::size_t sym_len = params.symbol_len();
+  const std::size_t n = params.scaled_fft();
   const std::size_t data_off = frame_start + 10 * (params.scaled_fft() / 4) +
                                n_streams * (2 * params.scaled_cp() +
                                             2 * params.scaled_fft());
+
+  // Batched demodulation of the whole frame, then allocation-free
+  // per-subcarrier equalization (same workspace pattern as decode_frame).
+  const dsp::FftPlan& plan = dsp::shared_plan(n);
+  std::vector<std::vector<cdouble>> all_bins;
+  const std::size_t fit =
+      demod_all_antennas(rx, data_off, n_syms, plan, all_bins, params);
 
   std::vector<double> err(params.n_data_subcarriers, 0.0);
   std::vector<double> sig(params.n_data_subcarriers, 0.0);
   std::vector<std::size_t> count(params.n_data_subcarriers, 0);
 
-  for (std::size_t t = 0; t < n_syms; ++t) {
-    const std::size_t off = data_off + t * sym_len;
-    if (off + sym_len > rx[0].size()) break;
-    std::vector<std::vector<cdouble>> bins(n_rx);
-    for (std::size_t a = 0; a < n_rx; ++a) {
-      bins[a] = ofdm_demod_bins(rx[a], off, params);
-    }
+  CVec y;
+  CVec s_hat;
 
-    // Common-phase correction from pilots (stream 0 carries them).
-    cdouble phase_acc{0.0, 0.0};
-    const double pol = pilot_polarity(t);
-    const auto& pp = pilot_pattern();
-    for (std::size_t pi = 0; pi < kPilotSubcarriers.size(); ++pi) {
-      const int k = kPilotSubcarriers[pi];
-      const std::size_t ki = static_cast<std::size_t>(k + 26);
-      if (!eq[ki].ok) continue;
-      CVec y(n_rx);
-      for (std::size_t a = 0; a < n_rx; ++a) {
-        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
-      }
-      const CVec s_hat = eq[ki].combiner * y;
-      phase_acc += s_hat[0] * std::conj(cdouble{pol * pp[pi], 0.0});
-    }
-    const cdouble phase_fix =
-        std::abs(phase_acc) > 0.0
-            ? std::conj(phase_acc / std::abs(phase_acc))
-            : cdouble{1.0, 0.0};
+  for (std::size_t t = 0; t < fit; ++t) {
+    const cdouble phase_fix = pilot_phase_fix(eq, all_bins, t, n, y, s_hat);
 
     for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
       const int k = data_sc[i];
       const std::size_t ki = static_cast<std::size_t>(k + 26);
       if (!eq[ki].ok) continue;
-      CVec y(n_rx);
-      for (std::size_t a = 0; a < n_rx; ++a) {
-        y[a] = bins[a][subcarrier_bin(k, params.scaled_fft())];
-      }
-      const CVec s_hat = eq[ki].combiner * y;
+      gather_rx_vector(all_bins, t, n, subcarrier_bin(k, n), y);
+      linalg::mul_into(eq[ki].combiner, y, s_hat);
       const cdouble known = known_symbols[t * params.n_data_subcarriers + i];
       const cdouble e = s_hat[stream_idx] * phase_fix - known;
       err[i] += std::norm(e);

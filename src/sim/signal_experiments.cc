@@ -40,9 +40,9 @@ void smooth_channels(std::vector<CMat>& channels) {
   if (channels.empty() || channels[26].empty()) return;
   const std::size_t rows = channels[26].rows();
   const std::size_t cols = channels[26].cols();
+  phy::ChannelEstimate one;  // hoisted out of the per-antenna-pair loop
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
-      phy::ChannelEstimate one;
       for (int k = -26; k <= 26; ++k) {
         if (k == 0) continue;
         one.at(k) = channels[static_cast<std::size_t>(k + 26)](r, c);

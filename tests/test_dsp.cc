@@ -198,5 +198,72 @@ TEST(Signal, DelayPrependsZeros) {
   EXPECT_EQ(y[3], (cdouble{1, 0}));
 }
 
+// --- FftPlan vs. the free-function reference -----------------------------
+
+class FftPlanSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftPlanSuite, ForwardMatchesFreeFunction) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(7);
+  const auto x = random_signal(n, rng);
+  const FftPlan plan(n);
+
+  auto planned = x;
+  plan.forward(planned);
+  const auto reference = fft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(planned[i] - reference[i]), 0.0, 1e-10);
+  }
+}
+
+TEST_P(FftPlanSuite, InverseRoundtrip) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(8);
+  const auto x = random_signal(n, rng);
+  const FftPlan plan(n);
+
+  auto y = x;
+  plan.forward(y);
+  plan.inverse(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlanSuite,
+                         ::testing::Values(1, 2, 4, 16, 64, 128, 1024));
+
+TEST(FftPlan, BatchMatchesPerBlockTransforms) {
+  const std::size_t n = 64;
+  const std::size_t count = 7;
+  util::Rng rng(9);
+  auto batch = random_signal(n * count, rng);
+  auto blocks = batch;
+  const FftPlan plan(n);
+
+  plan.forward_batch(batch.data(), count);
+  for (std::size_t b = 0; b < count; ++b) {
+    std::vector<cdouble> one(blocks.begin() + static_cast<long>(b * n),
+                             blocks.begin() + static_cast<long>((b + 1) * n));
+    fft_inplace(one);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(batch[b * n + i] - one[i]), 0.0, 1e-10);
+    }
+  }
+
+  plan.inverse_batch(batch.data(), count);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(std::abs(batch[i] - blocks[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftPlan, SharedPlanIsPerSize) {
+  const FftPlan& p64 = shared_plan(64);
+  const FftPlan& p128 = shared_plan(128);
+  EXPECT_EQ(p64.size(), 64u);
+  EXPECT_EQ(p128.size(), 128u);
+  EXPECT_EQ(&p64, &shared_plan(64));  // cached, not rebuilt
+}
+
 }  // namespace
 }  // namespace nplus::dsp

@@ -326,5 +326,153 @@ TEST(ContainsSubspace, DetectsContainment) {
   EXPECT_FALSE(contains_subspace(basis, other));
 }
 
+// --- Small-buffer storage semantics -------------------------------------
+
+TEST(SmallBuffer, InlineAndHeapRoundtrip) {
+  // Sizes straddling the 16-element inline capacity, exercising the
+  // inline -> heap transition and copy/move in both modes.
+  for (const std::size_t n : {1u, 4u, 16u, 17u, 52u}) {
+    util::Rng rng(100 + static_cast<std::uint64_t>(n));
+    CVec v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = rng.cgaussian();
+    CVec copy = v;
+    ASSERT_EQ(copy.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(copy[i], v[i]);
+    CVec moved = std::move(copy);
+    ASSERT_EQ(moved.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(moved[i], v[i]);
+    // Assignment into an existing (smaller and larger) vector.
+    CVec small(1), large(40);
+    small = v;
+    large = v;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(small[i], v[i]);
+      EXPECT_EQ(large[i], v[i]);
+    }
+  }
+}
+
+TEST(SmallBuffer, ResizePreservesAndZeroFills) {
+  CVec v(3);
+  v[0] = {1, 2};
+  v[1] = {3, 4};
+  v[2] = {5, 6};
+  v.resize(20);  // inline -> heap growth
+  EXPECT_EQ(v[0], (cdouble{1, 2}));
+  EXPECT_EQ(v[2], (cdouble{5, 6}));
+  for (std::size_t i = 3; i < 20; ++i) EXPECT_EQ(v[i], (cdouble{0, 0}));
+  v.resize(2);
+  v.resize(10);
+  EXPECT_EQ(v[0], (cdouble{1, 2}));
+  for (std::size_t i = 2; i < 10; ++i) EXPECT_EQ(v[i], (cdouble{0, 0}));
+}
+
+// --- Destination-passing kernels vs. by-value references -----------------
+
+class IntoKernelSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntoKernelSuite, MulIntoMatchesOperator) {
+  util::Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const auto n = static_cast<std::size_t>(GetParam());
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t m = 1 + rng.uniform_int(4u);
+    const std::size_t k = 1 + rng.uniform_int(4u);
+    const CMat a = random_matrix(m, n, rng);
+    const CMat b = random_matrix(n, k, rng);
+    const CVec x = random_matrix(n, 1, rng).col(0);
+
+    CMat ab;
+    mul_into(a, b, ab);
+    EXPECT_LT(max_abs_diff(ab, a * b), 1e-12);
+
+    CVec ax;
+    mul_into(a, x, ax);
+    const CVec ax_ref = a * x;
+    ASSERT_EQ(ax.size(), ax_ref.size());
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      EXPECT_LT(std::abs(ax[i] - ax_ref[i]), 1e-12);
+    }
+
+    CMat ah;
+    hermitian_into(a, ah);
+    EXPECT_LT(max_abs_diff(ah, a.hermitian()), 1e-15);
+
+    CMat ahb;
+    mul_hermitian_into(a, ab, ahb);  // a^H (a b): both have m rows
+    EXPECT_LT(max_abs_diff(ahb, a.hermitian() * ab), 1e-12);
+
+    const CVec y = random_matrix(m, 1, rng).col(0);
+    CVec ahy;
+    mul_hermitian_into(a, y, ahy);
+    const CVec ahy_ref = a.hermitian() * y;
+    for (std::size_t i = 0; i < ahy.size(); ++i) {
+      EXPECT_LT(std::abs(ahy[i] - ahy_ref[i]), 1e-12);
+    }
+  }
+}
+
+TEST_P(IntoKernelSuite, SolveIntoMatchesSolve) {
+  util::Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const auto n = static_cast<std::size_t>(GetParam());
+  Lu workspace;  // reused across iterations, as the hot path does
+  CVec x;
+  for (int rep = 0; rep < 20; ++rep) {
+    const CMat a = random_matrix(n, n, rng);
+    const CVec b = random_matrix(n, 1, rng).col(0);
+    const auto ref = solve(a, b);
+    const bool ok = solve_into(a, b, workspace, x);
+    ASSERT_EQ(ok, ref.has_value());
+    if (!ok) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LT(std::abs(x[i] - (*ref)[i]), 1e-10);
+    }
+  }
+}
+
+TEST_P(IntoKernelSuite, SubspaceIntoMatchesByValue) {
+  util::Rng rng(400 + static_cast<std::uint64_t>(GetParam()));
+  const auto n = static_cast<std::size_t>(GetParam());
+  CVec coords, proj, coords_ws;
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t d = 1 + rng.uniform_int(static_cast<unsigned>(n));
+    const CMat basis = orthonormal_basis(random_matrix(n, d, rng));
+    const CVec y = random_matrix(n, 1, rng).col(0);
+
+    coordinates_in_into(basis, y, coords);
+    const CVec coords_ref = coordinates_in(basis, y);
+    ASSERT_EQ(coords.size(), coords_ref.size());
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      EXPECT_LT(std::abs(coords[i] - coords_ref[i]), 1e-12);
+    }
+
+    project_onto_into(basis, y, coords_ws, proj);
+    const CVec proj_ref = project_onto(basis, y);
+    ASSERT_EQ(proj.size(), proj_ref.size());
+    for (std::size_t i = 0; i < proj.size(); ++i) {
+      EXPECT_LT(std::abs(proj[i] - proj_ref[i]), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntoKernelSuite,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(IntoKernels, LuFactorIntoResetsState) {
+  // A reused workspace must not leak `sign`/`singular` from a previous
+  // factorization.
+  util::Rng rng(55);
+  Lu f;
+  lu_factor_into(CMat{{{0, 0}}}, f);  // singular 1x1
+  EXPECT_TRUE(f.singular);
+  const CMat a = random_matrix(3, 3, rng);
+  lu_factor_into(a, f);
+  EXPECT_FALSE(f.singular);
+  const CVec b = random_matrix(3, 1, rng).col(0);
+  CVec x;
+  lu_solve_into(f, b, x);
+  const CVec resid = a * x - b;
+  EXPECT_LT(resid.norm(), 1e-9);
+}
+
 }  // namespace
 }  // namespace nplus::linalg

@@ -342,5 +342,56 @@ TEST(Transceiver, ProjectionRejectsKnownInterference) {
   EXPECT_LT(util::to_db(mean_raw), 10.0);
 }
 
+TEST(Ofdm, DemodIntoMatchesByValue) {
+  util::Rng rng(21);
+  const auto data = random_qpsk(1, rng);
+  const Samples time = ofdm_modulate_symbol(data, 0);
+  const auto reference = ofdm_demod_bins(time, 0);
+
+  const nplus::dsp::FftPlan plan(64);
+  std::vector<cdouble> bins;
+  ofdm_demod_bins_into(time, 0, plan, bins, {});
+  ASSERT_EQ(bins.size(), reference.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    EXPECT_NEAR(std::abs(bins[i] - reference[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Ofdm, BatchedDemodMatchesPerSymbol) {
+  util::Rng rng(22);
+  const std::size_t n_syms = 5;
+  const auto data = random_qpsk(n_syms, rng);
+  const Samples time = ofdm_modulate(data);
+
+  const nplus::dsp::FftPlan plan(64);
+  std::vector<cdouble> batch;
+  const std::size_t fit =
+      ofdm_demod_symbols_into(time, 0, n_syms, plan, batch, {});
+  ASSERT_EQ(fit, n_syms);
+  ASSERT_EQ(batch.size(), n_syms * 64);
+  for (std::size_t s = 0; s < n_syms; ++s) {
+    const auto one = ofdm_demod_bins(time, s * 80);
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_NEAR(std::abs(batch[s * 64 + i] - one[i]), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Ofdm, BatchedDemodZeroFillsPastEnd) {
+  util::Rng rng(23);
+  const auto data = random_qpsk(2, rng);
+  const Samples time = ofdm_modulate(data);
+
+  const nplus::dsp::FftPlan plan(64);
+  std::vector<cdouble> batch;
+  // Ask for more symbols than the stream holds: only 2 fit, rest zero.
+  const std::size_t fit = ofdm_demod_symbols_into(time, 0, 4, plan, batch, {});
+  EXPECT_EQ(fit, 2u);
+  ASSERT_EQ(batch.size(), 4u * 64);
+  for (std::size_t i = 2 * 64; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], (cdouble{0.0, 0.0}));
+  }
+}
+
 }  // namespace
 }  // namespace nplus::phy
