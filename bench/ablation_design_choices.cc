@@ -16,10 +16,12 @@
 #include "sim/runner.h"
 #include "sim/scenarios.h"
 #include "sim/signal_experiments.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
   const channel::Testbed testbed;
 
   // --- 1+2: calibration error sweep (smoothing always on; the no-smoothing
@@ -31,10 +33,9 @@ int main() {
   for (double cal : {0.0, 0.02, 0.045, 0.1, 0.2}) {
     sim::SignalExpConfig cfg;
     cfg.calibration_std = cal;
-    util::Rng rng(51);
+    cfg.seed = 51;
     util::RunningStats loss, canc;
-    for (int i = 0; i < 40; ++i) {
-      const auto t = sim::run_nulling_trial(testbed, rng, cfg);
+    for (const auto& t : sim::run_nulling_sweep(testbed, 40, cfg)) {
       if (t.unwanted_snr_db < 7.5 || t.unwanted_snr_db > 27.0) continue;
       loss.add(t.snr_reduction_db());
       canc.add(t.cancellation_db);

@@ -11,21 +11,24 @@
 #include "channel/testbed.h"
 #include "nulling/admission.h"
 #include "sim/signal_experiments.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   const channel::Testbed testbed;
-  util::Rng rng(37);
-  const int kTrials = 80;
+  const std::size_t kTrials = 80;
   const double kLimitDb = nulling::AdmissionConfig{}.cancellation_limit_db;
 
   util::Histogram buckets(7.5, 32.5, 5);
   util::RunningStats below_limit_loss;
 
-  for (int i = 0; i < kTrials; ++i) {
-    const sim::AlignmentTrial t = sim::run_alignment_trial(testbed, rng);
+  sim::SignalExpConfig cfg;
+  cfg.seed = 37;
+  for (const sim::AlignmentTrial& t :
+       sim::run_alignment_sweep(testbed, kTrials, cfg)) {
     buckets.add(t.unwanted_snr_db, t.snr_reduction_db());
     if (t.unwanted_snr_db <= kLimitDb && t.unwanted_snr_db > 7.5) {
       below_limit_loss.add(t.snr_reduction_db());

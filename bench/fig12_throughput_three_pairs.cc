@@ -15,10 +15,12 @@
 #include "channel/testbed.h"
 #include "sim/runner.h"
 #include "sim/scenarios.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   const channel::Testbed testbed;
   const sim::Scenario scenario = sim::three_pair_scenario();

@@ -7,22 +7,31 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "mac/contention.h"
+#include "util/cli.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   const std::vector<mac::Contender> pairs = {{1, 1}, {2, 2}, {3, 3}};
-  const int kRounds = 20000;
+  const std::size_t kRounds = 20000;
+
+  // Rounds run in parallel, one forked stream per round (deterministic for
+  // any thread count); aggregation stays serial.
+  std::vector<mac::ContentionResult> rounds(kRounds);
+  util::ThreadPool::run_seeded(0, 3, kRounds,
+                               [&](std::size_t i, util::Rng& rng) {
+                                 rounds[i] = mac::nplus_contention(pairs, rng);
+                               });
 
   std::map<std::string, int> outcomes;
   util::RunningStats time_us, collisions, streams;
-  util::Rng rng(3);
-
-  for (int i = 0; i < kRounds; ++i) {
-    const auto res = mac::nplus_contention(pairs, rng);
+  for (const auto& res : rounds) {
     std::string key;
     for (const auto& w : res.winners) {
       key += "tx" + std::to_string(w.contender_id) + "(" +
@@ -34,13 +43,13 @@ int main() {
     streams.add(static_cast<double>(res.total_streams));
   }
 
-  std::printf("=== Fig 5: n+ contention outcomes over %d rounds ===\n\n",
+  std::printf("=== Fig 5: n+ contention outcomes over %zu rounds ===\n\n",
               kRounds);
   std::printf("%-28s %10s %8s\n", "winner order (streams)", "count",
               "share");
   for (const auto& [key, count] : outcomes) {
     std::printf("%-28s %10d %7.1f%%\n", key.c_str(), count,
-                100.0 * count / kRounds);
+                100.0 * count / static_cast<double>(kRounds));
   }
   std::printf("\nall outcomes use %.0f/3 degrees of freedom (min %.0f)\n",
               streams.mean(), streams.min());

@@ -7,10 +7,12 @@
 #include <cstdio>
 
 #include "sim/signal_experiments.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   sim::CarrierSenseConfigExp cfg;
   cfg.tx1_snr_db = 25.0;
@@ -33,16 +35,15 @@ int main() {
                 one.power_projected[s]);
   }
 
-  // Aggregate jump statistics over many trials.
-  util::Rng sweep_rng(17);
+  // Aggregate jump statistics over many trials (evaluated in parallel).
   util::RunningStats raw, proj;
-  const int kTrials = 40;
-  for (int i = 0; i < kTrials; ++i) {
-    const auto t = sim::run_carrier_sense_trial(sweep_rng, cfg);
+  const std::size_t kTrials = 40;
+  cfg.seed = 17;
+  for (const auto& t : sim::run_carrier_sense_sweep(kTrials, cfg)) {
     raw.add(t.jump_raw_db);
     proj.add(t.jump_projected_db);
   }
-  std::printf("\npower jump at tx2 start over %d trials:\n", kTrials);
+  std::printf("\npower jump at tx2 start over %zu trials:\n", kTrials);
   std::printf("  without projection: mean %5.2f dB  (paper: ~0.4 dB)\n",
               raw.mean());
   std::printf("  with projection:    mean %5.2f dB  (paper: ~8.5 dB)\n",

@@ -9,18 +9,19 @@
 #include <vector>
 
 #include "sim/signal_experiments.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   sim::CarrierSenseConfigExp cfg;  // defaults: tx1 25 dB, tx2 2 dB
-  const int kTrials = 60;
+  const std::size_t kTrials = 60;
+  cfg.seed = 23;
 
   std::vector<double> raw_active, raw_silent, proj_active, proj_silent;
-  util::Rng rng(23);
-  for (int i = 0; i < kTrials; ++i) {
-    const auto t = sim::run_carrier_sense_trial(rng, cfg);
+  for (const auto& t : sim::run_carrier_sense_sweep(kTrials, cfg)) {
     raw_active.push_back(t.corr_raw_active);
     raw_silent.push_back(t.corr_raw_silent);
     proj_active.push_back(t.corr_projected_active);

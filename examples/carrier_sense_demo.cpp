@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/signal_experiments.h"
+#include "util/cli.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -36,6 +37,7 @@ void plot(const char* title, const std::vector<double>& power,
 
 int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   sim::CarrierSenseConfigExp cfg;
   cfg.tx1_snr_db = 25.0;

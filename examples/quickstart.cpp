@@ -14,10 +14,12 @@
 #include "channel/testbed.h"
 #include "sim/runner.h"
 #include "sim/scenarios.h"
+#include "util/cli.h"
 #include "util/stats.h"
 
 int main(int argc, char** argv) {
   using namespace nplus;
+  util::init_threads_from_cli(argc, argv);
 
   sim::ExperimentConfig config;
   config.n_placements = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;

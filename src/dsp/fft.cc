@@ -1,8 +1,10 @@
 #include "dsp/fft.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <numbers>
 
 namespace nplus::dsp {
@@ -84,17 +86,27 @@ void FftPlan::inverse_batch(cdouble* x, std::size_t count) const {
 
 const FftPlan& shared_plan(std::size_t n) {
   assert(is_power_of_two(n));
-  // Plans indexed by log2(n); built on first use, then a two-instruction
-  // lookup (the simulator is single-threaded by design). This replaces the
-  // old std::map<size, twiddles> cache, whose tree walk sat in the middle
-  // of every per-symbol transform.
+  // Plans indexed by log2(n); built on first use, then the steady-state
+  // lookup is a single acquire load (no lock on the hot path — the
+  // experiment harness calls this from every worker thread). This replaces
+  // the old std::map<size, twiddles> cache, whose tree walk sat in the
+  // middle of every per-symbol transform. Plans live for the process.
   constexpr std::size_t kMaxLog2 = 32;
-  static std::unique_ptr<FftPlan> plans[kMaxLog2];
+  static std::atomic<const FftPlan*> plans[kMaxLog2];
+  static std::mutex build_mutex;
   std::size_t log2n = 0;
   while ((std::size_t{1} << log2n) < n) ++log2n;
   assert(log2n < kMaxLog2);
-  if (!plans[log2n]) plans[log2n] = std::make_unique<FftPlan>(n);
-  return *plans[log2n];
+  const FftPlan* plan = plans[log2n].load(std::memory_order_acquire);
+  if (plan == nullptr) {
+    std::lock_guard<std::mutex> lk(build_mutex);
+    plan = plans[log2n].load(std::memory_order_relaxed);
+    if (plan == nullptr) {
+      plan = new FftPlan(n);
+      plans[log2n].store(plan, std::memory_order_release);
+    }
+  }
+  return *plan;
 }
 
 void fft_inplace(std::vector<cdouble>& x) {

@@ -52,7 +52,8 @@ class FftPlan {
 };
 
 // Shared per-size plan for the free-function fallback path. Plans are built
-// on first use and live for the process (single-threaded simulator).
+// on first use (thread-safe; lock-free lookup afterwards) and live for the
+// process.
 const FftPlan& shared_plan(std::size_t n);
 
 // In-place forward FFT; size must be a power of two.

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include <map>
+#include <mutex>
 #include <numbers>
 
 #include "dsp/fft.h"
@@ -71,12 +72,16 @@ ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
   namespace la = nplus::linalg;
   // DFT basis restricted to the used subcarriers: F(k_i, l) = e^{-j2pi k l/N}.
   // The pseudo-inverse depends only on (n_taps, fft_size); cache it together
-  // with F. Single-threaded simulator, so a static cache is safe.
+  // with F. The experiment harness calls this concurrently, so lookups and
+  // inserts are serialized; std::map node references stay valid across
+  // later inserts, so the returned Basis is safe to use outside the lock.
   struct Basis {
     la::CMat f;
     la::CMat f_pinv;
   };
+  static std::mutex cache_mutex;
   static std::map<std::pair<std::size_t, std::size_t>, Basis> cache;
+  std::unique_lock<std::mutex> cache_lock(cache_mutex);
   const auto key = std::make_pair(n_taps, fft_size);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -96,6 +101,8 @@ ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
     }
     it = cache.emplace(key, Basis{f, la::pinv(f)}).first;
   }
+  const Basis& basis = it->second;
+  cache_lock.unlock();
 
   // h_taps = F^+ h_subcarriers; smoothed = F h_taps. The 52-element
   // observation vector exceeds the inline-buffer capacity, so reuse
@@ -107,8 +114,8 @@ ChannelEstimate smooth_to_taps(const ChannelEstimate& est,
     if (k == 0) continue;
     obs[idx++] = est.at(k);
   }
-  la::mul_into(it->second.f_pinv, obs, taps);
-  la::mul_into(it->second.f, taps, smoothed);
+  la::mul_into(basis.f_pinv, obs, taps);
+  la::mul_into(basis.f, taps, smoothed);
 
   ChannelEstimate out;
   idx = 0;

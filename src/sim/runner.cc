@@ -1,18 +1,43 @@
 #include "sim/runner.h"
 
 #include <optional>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace nplus::sim {
+
+namespace {
+
+// Per-worker scratch reused across every placement that worker evaluates:
+// the per-link bit accumulator never reallocates after the first placement,
+// keeping the harness allocation-light per worker (the PHY kernels below it
+// already hold their workspaces in thread-local storage).
+struct PlacementScratch {
+  std::vector<double> bits;
+};
+
+}  // namespace
 
 std::vector<MethodResult> run_experiment(
     const channel::Testbed& testbed, const Scenario& scenario,
     const ExperimentConfig& config, const std::vector<RoundFn>& methods) {
   std::vector<MethodResult> results(methods.size());
-  for (auto& r : results) r.samples.reserve(config.n_placements);
+  for (auto& r : results) r.samples.resize(config.n_placements);
 
+  // Fork every placement's stream up front, in placement order, from the
+  // master seed. This is the determinism shard: whatever worker picks up
+  // placement p later, it sees exactly the stream the serial loop would
+  // have handed it.
   util::Rng master(config.seed);
+  std::vector<util::Rng> placement_rngs;
+  placement_rngs.reserve(config.n_placements);
   for (std::size_t p = 0; p < config.n_placements; ++p) {
-    util::Rng placement_rng = master.fork(p + 1);
+    placement_rngs.push_back(master.fork(p + 1));
+  }
+
+  auto evaluate_placement = [&](std::size_t p, PlacementScratch& scratch) {
+    util::Rng& placement_rng = placement_rngs[p];
 
     // Draw placements until every traffic pair is alive (or give up and
     // accept the last draw).
@@ -36,28 +61,40 @@ std::vector<MethodResult> run_experiment(
     for (std::size_t m = 0; m < methods.size(); ++m) {
       util::Rng round_rng = placement_rng.fork(1000 + m);
       double total_time = 0.0;
-      std::vector<double> bits(scenario.links.size(), 0.0);
+      scratch.bits.assign(scenario.links.size(), 0.0);
       for (std::size_t r = 0; r < config.rounds_per_placement; ++r) {
         const GenericRound round = methods[m](*world, round_rng);
         total_time += round.duration_s;
-        for (std::size_t l = 0; l < bits.size() &&
+        for (std::size_t l = 0; l < scratch.bits.size() &&
                                 l < round.delivered_bits.size();
              ++l) {
-          bits[l] += round.delivered_bits[l];
+          scratch.bits[l] += round.delivered_bits[l];
         }
       }
       ThroughputSample sample;
-      sample.per_link_mbps.resize(bits.size());
+      sample.per_link_mbps.resize(scratch.bits.size());
       double total_bits = 0.0;
-      for (std::size_t l = 0; l < bits.size(); ++l) {
+      for (std::size_t l = 0; l < scratch.bits.size(); ++l) {
         sample.per_link_mbps[l] =
-            total_time > 0.0 ? bits[l] / total_time / 1e6 : 0.0;
-        total_bits += bits[l];
+            total_time > 0.0 ? scratch.bits[l] / total_time / 1e6 : 0.0;
+        total_bits += scratch.bits[l];
       }
       sample.total_mbps =
           total_time > 0.0 ? total_bits / total_time / 1e6 : 0.0;
-      results[m].samples.push_back(std::move(sample));
+      results[m].samples[p] = std::move(sample);
     }
+  };
+
+  auto dispatch = [&](util::ThreadPool& pool) {
+    pool.parallel_for_ctx(
+        0, config.n_placements,
+        [](std::size_t) { return PlacementScratch{}; }, evaluate_placement);
+  };
+  if (config.n_threads == 0) {
+    dispatch(util::ThreadPool::global());
+  } else {
+    util::ThreadPool pool(config.n_threads);
+    dispatch(pool);
   }
   return results;
 }

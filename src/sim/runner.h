@@ -39,14 +39,23 @@ struct ExperimentConfig {
   // redrawn (up to 50 tries): the paper's experiments run between nodes
   // that can actually communicate, so dead pairs never enter the CDFs.
   double min_pair_snr_db = 8.0;
+  // Worker threads evaluating placements concurrently. 0 = the global
+  // ThreadPool (NPLUS_THREADS / --threads / hardware concurrency); 1 runs
+  // inline with no threads. Results are bit-identical for any value: every
+  // placement's RNG stream is forked from the master seed before dispatch
+  // and samples are written by placement index.
+  std::size_t n_threads = 0;
 };
 
 struct MethodResult {
   std::vector<ThroughputSample> samples;  // one per placement
 };
 
-// Runs every method over the same placements. `n_nodes_hint` lets callers
-// with nodes that never transmit still get placed; pass scenario.nodes.
+// Runs every method over the same placements, evaluating placements in
+// parallel (config.n_threads). Placement p's world and rounds draw from a
+// stream forked as master.fork(p + 1) — the paper's paired-comparison
+// methodology is preserved exactly, and the output is independent of the
+// thread count and of scheduling order.
 std::vector<MethodResult> run_experiment(
     const channel::Testbed& testbed, const Scenario& scenario,
     const ExperimentConfig& config, const std::vector<RoundFn>& methods);

@@ -12,11 +12,25 @@
 #include "nulling/precoder.h"
 #include "phy/constellation.h"
 #include "phy/transceiver.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace nplus::sim {
 
 namespace {
+
+// Shared shape of the three sweep entry points: one pre-forked stream per
+// trial (ThreadPool::run_seeded), each result written by index. This is
+// what makes sweep output independent of the thread count.
+template <typename Trial, typename RunTrial>
+std::vector<Trial> run_sweep(std::size_t n_trials, std::uint64_t seed,
+                             std::size_t n_threads, const RunTrial& run) {
+  std::vector<Trial> out(n_trials);
+  util::ThreadPool::run_seeded(
+      n_threads, seed, n_trials,
+      [&](std::size_t t, util::Rng& rng) { out[t] = run(rng); });
+  return out;
+}
 
 using channel::MimoChannel;
 using channel::Scene;
@@ -469,6 +483,33 @@ CarrierSenseTrial run_carrier_sense_trial(util::Rng& rng,
   trial.corr_projected_active = max_corr(projected, tx2_start);
   trial.corr_projected_silent = max_corr(projected, silent_at);
   return trial;
+}
+
+std::vector<NullingTrial> run_nulling_sweep(const channel::Testbed& testbed,
+                                            std::size_t n_trials,
+                                            const SignalExpConfig& config,
+                                            std::size_t n_threads) {
+  return run_sweep<NullingTrial>(
+      n_trials, config.seed, n_threads,
+      [&](util::Rng& rng) { return run_nulling_trial(testbed, rng, config); });
+}
+
+std::vector<AlignmentTrial> run_alignment_sweep(
+    const channel::Testbed& testbed, std::size_t n_trials,
+    const SignalExpConfig& config, std::size_t n_threads) {
+  return run_sweep<AlignmentTrial>(n_trials, config.seed, n_threads,
+                                   [&](util::Rng& rng) {
+                                     return run_alignment_trial(testbed, rng,
+                                                                config);
+                                   });
+}
+
+std::vector<CarrierSenseTrial> run_carrier_sense_sweep(
+    std::size_t n_trials, const CarrierSenseConfigExp& cfg,
+    std::size_t n_threads) {
+  return run_sweep<CarrierSenseTrial>(
+      n_trials, cfg.seed, n_threads,
+      [&](util::Rng& rng) { return run_carrier_sense_trial(rng, cfg); });
 }
 
 }  // namespace nplus::sim

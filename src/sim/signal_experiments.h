@@ -44,6 +44,15 @@ NullingTrial run_nulling_trial(const channel::Testbed& testbed,
                                util::Rng& rng,
                                const SignalExpConfig& config = {});
 
+// Evaluates n_trials independent trials in parallel. Trial t draws from a
+// stream forked from config.seed as master.fork(t + 1), so the result
+// vector is deterministic in (config, n_trials) and independent of the
+// thread count (0 = global pool, 1 = inline serial).
+std::vector<NullingTrial> run_nulling_sweep(const channel::Testbed& testbed,
+                                            std::size_t n_trials,
+                                            const SignalExpConfig& config = {},
+                                            std::size_t n_threads = 0);
+
 // --- Fig. 11(b): alignment ----------------------------------------------
 
 struct AlignmentTrial {
@@ -58,6 +67,12 @@ struct AlignmentTrial {
 AlignmentTrial run_alignment_trial(const channel::Testbed& testbed,
                                    util::Rng& rng,
                                    const SignalExpConfig& config = {});
+
+// Parallel multi-trial sweep; same determinism contract as
+// run_nulling_sweep.
+std::vector<AlignmentTrial> run_alignment_sweep(
+    const channel::Testbed& testbed, std::size_t n_trials,
+    const SignalExpConfig& config = {}, std::size_t n_threads = 0);
 
 // --- Fig. 9: carrier sense ----------------------------------------------
 
@@ -87,5 +102,11 @@ struct CarrierSenseConfigExp {
 
 CarrierSenseTrial run_carrier_sense_trial(util::Rng& rng,
                                           const CarrierSenseConfigExp& cfg);
+
+// Parallel multi-trial sweep; trial t forks cfg.seed's stream with label
+// t + 1, so results are bit-identical for any thread count.
+std::vector<CarrierSenseTrial> run_carrier_sense_sweep(
+    std::size_t n_trials, const CarrierSenseConfigExp& cfg = {},
+    std::size_t n_threads = 0);
 
 }  // namespace nplus::sim

@@ -1,0 +1,56 @@
+// Tiny command-line helpers shared by the bench drivers and examples.
+//
+// Every driver accepts `--threads N` (or `--threads=N`), which sizes the
+// global ThreadPool before any experiment runs; without the flag the
+// NPLUS_THREADS environment variable applies, and without either the pool
+// uses hardware_concurrency(). The flag is stripped from argv so drivers
+// can keep their positional arguments.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/thread_pool.h"
+
+namespace nplus::util {
+
+// Parses and removes --threads from (argc, argv), configures the global
+// pool, and returns the thread count experiments will run with.
+inline std::size_t init_threads_from_cli(int& argc, char** argv) {
+  std::size_t requested = 0;  // 0 = env var / hardware default
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    const char* arg = argv[in];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--threads") == 0) {
+      // Always consumed, so a forgotten value can't leak into the
+      // positional arguments (e.g. become a filename or a trial count).
+      if (in + 1 < argc) {
+        value = argv[++in];
+      } else {
+        std::fprintf(stderr, "--threads requires a value; ignored\n");
+        continue;
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    }
+    if (value != nullptr) {
+      const long v = std::strtol(value, nullptr, 10);
+      if (v >= 1) {
+        requested = static_cast<std::size_t>(v);
+      } else {
+        std::fprintf(stderr, "invalid --threads value '%s'; ignored\n",
+                     value);
+      }
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  argv[out] = nullptr;  // keep the argv[argc] == nullptr invariant
+  argc = out;
+  ThreadPool::set_global_threads(requested);
+  return requested != 0 ? requested : default_thread_count();
+}
+
+}  // namespace nplus::util

@@ -114,15 +114,34 @@ class Rng {
   std::vector<int> sample_without_replacement(int n, int k);
 
   // Fork a child generator with an independent stream; deterministic in
-  // (parent seed, label). Used to give each node / channel its own stream.
+  // (parent state, label). Used to give each node / channel / placement /
+  // trial its own stream — the parallel harness forks one child per work
+  // item *before* dispatch so results are schedule-independent.
+  //
+  // The label is diffused through splitmix64 before it touches the child's
+  // seed and stream selector. A linear mix (label * odd-constant, as used
+  // previously) keeps label differences linear: labels differing only in
+  // high bits produce PCG streams whose states differ by a constant that
+  // the LCG preserves forever (e.g. labels 0 and 2^63 collided to the same
+  // stream increment with seeds a single bit apart). splitmix64 is a
+  // bijection with full avalanche, so nested fork chains with structured
+  // labels (p+1, 1000+m, ...) land on unrelated (seed, stream) pairs.
   Rng fork(std::uint64_t label) {
     const std::uint64_t s1 = gen_.next();
     const std::uint64_t s2 = gen_.next();
-    return Rng((s1 << 32) ^ s2 ^ (label * 0x9e3779b97f4a7c15ULL),
-               label * 2u + 1u);
+    const std::uint64_t mixed = splitmix64(label);
+    return Rng(((s1 << 32) | s2) ^ mixed,
+               splitmix64(mixed ^ 0x632be59bd9b4e019ULL));
   }
 
  private:
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
   Pcg32 gen_;
   bool has_cached_ = false;
   double cached_ = 0.0;

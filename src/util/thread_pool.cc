@@ -1,0 +1,226 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace nplus::util {
+
+namespace {
+
+// True on any thread currently executing inside a parallel_for (the caller
+// while it participates, and every pool worker for its lifetime). Nested
+// dispatch from such a thread runs inline: the outer job already owns the
+// hardware, and blocking a worker on an inner job could deadlock the pool.
+thread_local bool t_inside_pool = false;
+
+struct InsideGuard {
+  bool prev;
+  InsideGuard() : prev(t_inside_pool) { t_inside_pool = true; }
+  ~InsideGuard() { t_inside_pool = prev; }
+};
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("NPLUS_THREADS")) {
+    char* rest = nullptr;
+    const long v = std::strtol(env, &rest, 10);
+    if (rest != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// One contiguous chunk of the iteration range, owned by one worker.
+// Padded so neighbouring shards never share a cache line.
+struct alignas(64) ThreadPool::Shard {
+  std::mutex m;
+  std::size_t next = 0;  // first unclaimed index
+  std::size_t last = 0;  // one past the final index
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads)
+    : n_threads_(n_threads == 0 ? default_thread_count() : n_threads) {
+  shards_ = std::make_unique<Shard[]>(n_threads_);
+  threads_.reserve(n_threads_ - 1);
+  for (std::size_t w = 1; w < n_threads_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_main(std::size_t worker) {
+  t_inside_pool = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      wake_cv_.wait(lk, [&] { return stop_ || job_ != seen; });
+      if (stop_) return;
+      seen = job_;
+    }
+    work(worker);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work(std::size_t worker) {
+  constexpr auto kNone = std::numeric_limits<std::size_t>::max();
+  Shard& own = shards_[worker];
+  for (;;) {
+    std::size_t i = kNone;
+    {
+      std::lock_guard<std::mutex> lk(own.m);
+      if (own.next < own.last) i = own.next++;
+    }
+    if (i == kNone) {
+      if (!try_steal(worker)) return;
+      continue;
+    }
+    if (cancel_.load(std::memory_order_relaxed)) return;
+    try {
+      (*body_)(i, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!error_) error_ = std::current_exception();
+      cancel_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ThreadPool::try_steal(std::size_t thief) {
+  // Victim choice: the shard with the most unclaimed work (each sampled
+  // under its own lock; the choice can still go stale, so the take below
+  // re-checks). Taking the *back* half leaves the owner its cache-warm
+  // front.
+  for (;;) {
+    std::size_t victim = thief;
+    std::size_t best = 0;
+    for (std::size_t w = 0; w < n_threads_; ++w) {
+      if (w == thief) continue;
+      Shard& s = shards_[w];
+      std::size_t remaining;
+      {
+        std::lock_guard<std::mutex> lk(s.m);
+        remaining = s.last > s.next ? s.last - s.next : 0;
+      }
+      if (remaining > best) {
+        best = remaining;
+        victim = w;
+      }
+    }
+    if (victim == thief) return false;  // everyone looks empty
+
+    Shard& v = shards_[victim];
+    std::size_t lo = 0, hi = 0;
+    {
+      std::lock_guard<std::mutex> lk(v.m);
+      if (v.next < v.last) {
+        const std::size_t take = (v.last - v.next + 1) / 2;
+        hi = v.last;
+        lo = v.last - take;
+        v.last = lo;
+      }
+    }
+    if (lo == hi) continue;  // lost the race; rescan
+    Shard& own = shards_[thief];
+    std::lock_guard<std::mutex> lk(own.m);
+    own.next = lo;
+    own.last = hi;
+    return true;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const IndexFn& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (t_inside_pool || n_threads_ == 1 || n == 1) {
+    InsideGuard guard;
+    for (std::size_t i = begin; i < end; ++i) body(i, 0);
+    return;
+  }
+
+  // One job in flight at a time: a second top-level dispatcher waits here
+  // until the current job fully drains (workers never take this lock).
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_m_);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    // Contiguous block partition; workers beyond n get empty shards and go
+    // straight to stealing.
+    const std::size_t base = n / n_threads_;
+    const std::size_t extra = n % n_threads_;
+    std::size_t at = begin;
+    for (std::size_t w = 0; w < n_threads_; ++w) {
+      const std::size_t len = base + (w < extra ? 1 : 0);
+      std::lock_guard<std::mutex> sk(shards_[w].m);
+      shards_[w].next = at;
+      shards_[w].last = at + len;
+      at += len;
+    }
+    body_ = &body;
+    error_ = nullptr;
+    cancel_.store(false, std::memory_order_relaxed);
+    active_ = n_threads_;
+    ++job_;
+  }
+  wake_cv_.notify_all();
+
+  {
+    InsideGuard guard;
+    work(0);
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    --active_;
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    body_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_pool_threads = 0;  // last set_global_threads request
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_pool_threads);
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_pool_threads = n;
+  const std::size_t want = n == 0 ? default_thread_count() : n;
+  if (g_pool && g_pool->n_threads() != want) g_pool.reset();
+}
+
+void ThreadPool::run(std::size_t n_threads, std::size_t begin, std::size_t end,
+                     const IndexFn& body) {
+  if (n_threads == 0) {
+    global().parallel_for(begin, end, body);
+  } else {
+    ThreadPool pool(n_threads);
+    pool.parallel_for(begin, end, body);
+  }
+}
+
+}  // namespace nplus::util

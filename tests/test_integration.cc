@@ -101,7 +101,9 @@ TEST(Throughput, GainsOrderedByAntennaCount) {
   const channel::Testbed tb;
   const Scenario sc = three_pair_scenario();
   ExperimentConfig cfg;
-  cfg.n_placements = 60;
+  // Enough placements to pin the 1-antenna gain near its ~0.97x paper
+  // value; small samples wander past the upper bound below.
+  cfg.n_placements = 150;
   cfg.rounds_per_placement = 4;
   cfg.seed = 13;
   cfg.round.include_overheads = false;

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "util/log.h"
 #include "util/rng.h"
@@ -121,6 +124,96 @@ TEST(Rng, ForkDeterministic) {
   Rng a = p1.fork(9);
   Rng b = p2.fork(9);
   for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+namespace {
+
+// |Pearson correlation| between two equal-length uniform streams.
+double stream_correlation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  return std::abs(sxy / std::sqrt(sxx * syy));
+}
+
+}  // namespace
+
+TEST(Rng, ForkAdversarialLabelsDecorrelated) {
+  // Regression for the pre-splitmix64 fork: label mixing was linear
+  // (label * odd constant; stream = label * 2 + 1), so labels differing
+  // only in high bits produced streams whose PCG increments collided
+  // (e.g. 0 vs 2^63) and whose states stayed a constant apart forever.
+  // Collect streams from adversarial direct labels and from nested fork
+  // chains with the structured labels the harness actually uses
+  // (placement p+1, method 1000+m), then demand pairwise independence.
+  const std::vector<std::uint64_t> labels = {
+      0u,
+      1u,
+      2u,
+      (1ULL << 32),
+      (1ULL << 32) + 1u,
+      (1ULL << 63),
+      (1ULL << 63) + 1u,
+  };
+  std::vector<std::vector<double>> streams;
+  const int kDraws = 256;
+  for (const std::uint64_t label : labels) {
+    Rng parent(2026);  // fresh parent: stream depends on the label alone
+    Rng child = parent.fork(label);
+    std::vector<double> s(kDraws);
+    for (auto& v : s) v = child.uniform();
+    streams.push_back(std::move(s));
+  }
+  // Nested chains: fork(p).fork(m) for the harness's label shapes, plus
+  // swapped orders that a linear mix could alias.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> chains = {
+      {1, 1000}, {1000, 1}, {2, 1001}, {3, 1002}};
+  for (const auto& [a, b] : chains) {
+    Rng parent(2026);
+    Rng child = parent.fork(a).fork(b);
+    std::vector<double> s(kDraws);
+    for (auto& v : s) v = child.uniform();
+    streams.push_back(std::move(s));
+  }
+
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      int same = 0;
+      for (int d = 0; d < kDraws; ++d) {
+        if (streams[i][d] == streams[j][d]) ++same;
+      }
+      EXPECT_LT(same, 3) << "streams " << i << " and " << j
+                         << " share draws";
+      EXPECT_LT(stream_correlation(streams[i], streams[j]), 0.35)
+          << "streams " << i << " and " << j << " correlate";
+    }
+  }
+}
+
+TEST(Rng, ForkSequentialLabelsDistinctFirstDraws) {
+  // The harness forks thousands of sequential labels (one per placement /
+  // trial); their first draws must not collide structurally.
+  Rng parent(1);
+  std::set<std::uint64_t> seen;
+  const int kStreams = 2000;
+  for (int i = 0; i < kStreams; ++i) {
+    Rng child = parent.fork(static_cast<std::uint64_t>(i) + 1);
+    seen.insert(static_cast<std::uint64_t>(child.uniform() * (1ULL << 53)));
+  }
+  // Allow a couple of birthday coincidences in the low bits, no more.
+  EXPECT_GE(seen.size(), static_cast<std::size_t>(kStreams - 2));
 }
 
 TEST(RunningStats, Basics) {
