@@ -1,6 +1,7 @@
 #include "mac/event_sim.h"
 
 #include <cassert>
+#include <utility>
 
 namespace nplus::mac {
 
@@ -11,19 +12,24 @@ void EventSim::schedule_at(SimTime t, Handler fn) {
 
 void EventSim::run(SimTime until) {
   while (!queue_.empty()) {
-    // priority_queue::top returns const&; move out via const_cast-free copy
-    // of the handler after popping the ordering fields.
+    // priority_queue::top returns const&. Moving through the const_cast is
+    // safe here: the ordering fields (t, seq) are trivially copied, only the
+    // handler's guts are stolen, and the moved-from std::function stays a
+    // valid (empty) element for the heap sift inside pop(). This avoids
+    // copying every handler's captured state once per event.
     const Event& top = queue_.top();
     if (top.t > until) break;
-    Event ev{top.t, top.seq, top.fn};
+    Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
     now_ = ev.t;
     ev.fn();
   }
-  if (now_ < until && queue_.empty()) {
-    // Time does not advance past the last event; callers that need wall
-    // progress schedule their own ticks.
-  }
+  // With an explicit horizon the clock always reaches it, even if the queue
+  // drained earlier (or only later events remain): a session that falls idle
+  // still ages to `until`, so rates computed from now() include the idle
+  // tail. The kNever default keeps the old "clock stops at the last event"
+  // behavior.
+  if (until < kNever && now_ < until) now_ = until;
 }
 
 void EventSim::clear() {

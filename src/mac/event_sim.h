@@ -18,6 +18,10 @@ class EventSim {
  public:
   using Handler = std::function<void()>;
 
+  // Sentinel deadline for run(): "no horizon" — execute the whole queue and
+  // leave the clock at the last event.
+  static constexpr SimTime kNever = 1e18;
+
   // Schedules `fn` at absolute time `t` (must be >= now()).
   void schedule_at(SimTime t, Handler fn);
   // Schedules `fn` `dt` seconds from now.
@@ -25,8 +29,14 @@ class EventSim {
 
   SimTime now() const { return now_; }
 
-  // Runs until the queue empties or `until` is reached.
-  void run(SimTime until = 1e18);
+  // Runs events with t <= `until`. With an explicit finite horizon the clock
+  // always ends at `until` — whether the queue drained early or later events
+  // remain pending — so callers can account for trailing idle time (the
+  // multi-round session's time series depends on this). With the default
+  // kNever horizon the clock stays at the last executed event. Handlers are
+  // moved out of the queue, not copied, so capturing per-round state in a
+  // handler costs one allocation at schedule time, none at dispatch.
+  void run(SimTime until = kNever);
 
   // Drops all pending events (used by tests).
   void clear();

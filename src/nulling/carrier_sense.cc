@@ -18,8 +18,16 @@ CMat estimate_occupied_subspace(const std::vector<Samples>& rx,
                                 double noise_power,
                                 double noise_floor_scale) {
   const std::size_t n = rx.size();
-  assert(n > 0);
-  const std::size_t end = std::min(rx[0].size(), offset + len);
+  // No streams -> nothing is occupied; return an empty basis instead of
+  // relying on a debug-only assert (release callers hand us whatever the
+  // radio produced).
+  if (n == 0) return CMat(0, 0);
+  // Size the window from the *shortest* stream: antenna streams can arrive
+  // with unequal lengths (a capture truncated on one chain), and indexing
+  // every stream by rx[0]'s length read past the shorter ones.
+  std::size_t min_len = rx[0].size();
+  for (const auto& s : rx) min_len = std::min(min_len, s.size());
+  const std::size_t end = std::min(min_len, offset + len);
 
   // Spatial sample covariance R = E[y y^H].
   CMat r(n, n);

@@ -34,6 +34,8 @@ CMat occupied_subspace_from_channels(const CMat& channel_columns);
 // Blind estimate: dominant eigenvectors of the spatial sample covariance
 // over [offset, offset+len). Eigenvalues within `noise_floor_scale` x the
 // smallest are treated as noise. Returns an N x K_hat orthonormal basis.
+// The window is clipped to the shortest stream (antenna captures may have
+// unequal lengths); an empty `rx` yields a 0 x 0 basis.
 CMat estimate_occupied_subspace(const std::vector<Samples>& rx,
                                 std::size_t offset, std::size_t len,
                                 double noise_power,

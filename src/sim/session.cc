@@ -1,0 +1,106 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mac/event_sim.h"
+
+namespace nplus::sim {
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+SessionResult run_session(const World& world, const Scenario& scenario,
+                          util::Rng& rng, const SessionConfig& config) {
+  SessionResult out;
+  const std::size_t n_links = scenario.links.size();
+  out.per_link_mbps.assign(n_links, 0.0);
+  if (config.n_rounds == 0) return out;
+
+  mac::EventSim sim;
+  std::vector<double> link_bits(n_links, 0.0);
+  util::RunningStats winners_per_round;
+  util::RunningStats streams_per_round;
+  double busy_end_s = 0.0;  // sim time when the last round's body+ACK ended
+
+  const auto total_bits = [&] {
+    double b = 0.0;
+    for (double v : link_bits) b += v;
+    return b;
+  };
+  const auto snapshot_at = [&](double t) {
+    SessionSnapshot s;
+    s.t_s = t;
+    s.rounds = out.rounds;
+    s.total_mbps = t > 0.0 ? total_bits() / t / 1e6 : 0.0;
+    std::vector<double> rates(n_links);
+    for (std::size_t l = 0; l < n_links; ++l) {
+      rates[l] = t > 0.0 ? link_bits[l] / t / 1e6 : 0.0;
+    }
+    s.jain = jain_index(rates);
+    s.join_rate = winners_per_round.mean();
+    out.series.push_back(s);
+  };
+
+  // Each handler runs one round at the sim time where the previous round's
+  // airtime (plus the idle gap) ended, then schedules its successor. The
+  // lambda is moved — not copied — through the event queue (EventSim::run),
+  // so chaining thousands of rounds costs one small allocation each.
+  std::function<void()> round_fn = [&] {
+    const RoundResult res = run_nplus_round(world, scenario, rng,
+                                            config.round);
+    out.rounds += 1;
+    winners_per_round.add(static_cast<double>(res.winner_order.size()));
+    streams_per_round.add(static_cast<double>(res.total_streams));
+    out.round_duration.add(res.duration_s);
+    for (std::size_t l = 0; l < n_links; ++l) {
+      link_bits[l] += res.links[l].delivered_bits;
+    }
+    busy_end_s = sim.now() + res.duration_s;
+
+    if (config.snapshot_every > 0 &&
+        out.rounds % config.snapshot_every == 0) {
+      snapshot_at(busy_end_s);
+    }
+    if (out.rounds >= config.n_rounds) return;
+    const double next_start = busy_end_s + config.inter_round_gap_s;
+    if (config.max_duration_s > 0.0 && next_start > config.max_duration_s) {
+      return;  // horizon reached; EventSim settles the clock at it
+    }
+    sim.schedule_at(next_start, round_fn);
+  };
+
+  sim.schedule_at(0.0, round_fn);
+  if (config.max_duration_s > 0.0) {
+    sim.run(config.max_duration_s);
+  } else {
+    sim.run();
+  }
+
+  // Session duration: the horizon if one was set (EventSim advanced the
+  // clock to it), otherwise the end of the last round's airtime — the sim
+  // clock alone stops at the last round's *start* event.
+  out.duration_s = std::max(sim.now(), busy_end_s);
+  if (out.duration_s > 0.0) {
+    double bits = 0.0;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      out.per_link_mbps[l] = link_bits[l] / out.duration_s / 1e6;
+      bits += link_bits[l];
+    }
+    out.total_mbps = bits / out.duration_s / 1e6;
+  }
+  out.jain = jain_index(out.per_link_mbps);
+  out.mean_winners_per_round = winners_per_round.mean();
+  out.mean_streams_per_round = streams_per_round.mean();
+  return out;
+}
+
+}  // namespace nplus::sim

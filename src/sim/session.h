@@ -1,0 +1,74 @@
+// Scenario engine, part 2: multi-round packet sessions.
+//
+// `run_nplus_round` evaluates ONE transmission opportunity. A session chains
+// many of them into a packet-level simulation driven on mac::EventSim: each
+// round runs the full n+ machinery (real DCF backoff by default, join
+// handshakes, concurrent bodies, ACKs), the sim clock advances by the
+// round's airtime, and the next round's contention starts when the medium
+// goes idle again. Per-link delivery feeds streaming util::RunningStats, so
+// a session reports per-link throughput, Jain fairness, and join-rate both
+// cumulatively and as a time series — without retaining per-round samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/round.h"
+#include "util/stats.h"
+
+namespace nplus::sim {
+
+struct SessionConfig {
+  // Rounds to simulate (a round = one n+ transmission opportunity).
+  std::size_t n_rounds = 200;
+  // Optional sim-clock horizon (seconds; 0 = none): the session stops
+  // scheduling rounds past it and the clock settles exactly at the horizon
+  // (EventSim::run(until) semantics), so rates include any idle tail.
+  double max_duration_s = 0.0;
+  // Idle gap between a round ending and the next contention starting.
+  double inter_round_gap_s = 0.0;
+  // Take a time-series snapshot every this many rounds (0 = no series).
+  std::size_t snapshot_every = 25;
+  // Per-round protocol knobs. Sessions default to the REAL DCF backoff path
+  // (slotted CSMA/CA, collisions, exponential backoff) instead of the
+  // paper's random-winner methodology — that is the point of a session.
+  RoundConfig round = [] {
+    RoundConfig r;
+    r.dcf_contention = true;
+    return r;
+  }();
+};
+
+// Cumulative state at a snapshot point (taken at a round's end).
+struct SessionSnapshot {
+  double t_s = 0.0;          // sim clock at the snapshot
+  std::size_t rounds = 0;    // rounds completed so far
+  double total_mbps = 0.0;   // cumulative aggregate throughput
+  double jain = 0.0;         // Jain index over cumulative per-link rates
+  double join_rate = 0.0;    // mean winners (concurrent groups) per round
+};
+
+struct SessionResult {
+  std::size_t rounds = 0;
+  double duration_s = 0.0;               // sim clock at session end
+  std::vector<double> per_link_mbps;     // indexed like Scenario::links
+  double total_mbps = 0.0;
+  double jain = 0.0;                     // fairness over per_link_mbps
+  double mean_winners_per_round = 0.0;   // the session's "join rate"
+  double mean_streams_per_round = 0.0;
+  util::RunningStats round_duration;     // per-round airtime stats
+  std::vector<SessionSnapshot> series;
+};
+
+// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative rates:
+// 1 = perfectly fair, 1/n = one link takes everything. Returns 0 for an
+// empty vector and 1 when every rate is zero (nobody is ahead of anybody).
+double jain_index(const std::vector<double>& xs);
+
+// Runs a session of `config.n_rounds` n+ rounds on `world`. Deterministic
+// in `rng` (rounds consume the stream in round order), so forked streams
+// make whole sessions reproducible under parallel dispatch.
+SessionResult run_session(const World& world, const Scenario& scenario,
+                          util::Rng& rng, const SessionConfig& config);
+
+}  // namespace nplus::sim

@@ -8,15 +8,31 @@
 
 namespace nplus::sim {
 
+namespace {
+
+// Sparse-mode pair filter: with roles present, only tx<->rx pairs are
+// materialized (the round builder only ever reads channels, beliefs, and
+// SNRs from a transmitter to a receiver). Empty roles = dense world.
+bool pair_active(const std::vector<std::uint8_t>& roles, std::size_t a,
+                 std::size_t b) {
+  if (roles.empty()) return true;
+  return ((roles[a] & kRoleTx) && (roles[b] & kRoleRx)) ||
+         ((roles[b] & kRoleTx) && (roles[a] & kRoleRx));
+}
+
+}  // namespace
+
 World::World(const channel::Testbed& testbed,
              const std::vector<NodeSpec>& nodes,
              const std::vector<std::size_t>& locations, util::Rng& rng,
-             const WorldConfig& config)
+             const WorldConfig& config,
+             const std::vector<std::uint8_t>& roles)
     : nodes_(nodes),
       config_(config),
       noise_power_(testbed.noise_power_linear()),
       rng_(rng.fork(0x77)) {
   assert(nodes.size() == locations.size());
+  assert(roles.empty() || roles.size() == nodes.size());
   const std::size_t n = nodes.size();
   static const auto data_sc = phy::data_subcarriers();
 
@@ -28,6 +44,7 @@ World::World(const channel::Testbed& testbed,
   // its exact transpose (electromagnetic reciprocity).
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
+      if (!pair_active(roles, a, b)) continue;
       const channel::MimoChannel fwd = testbed.make_channel(
           locations[a], locations[b], nodes[a].n_antennas,
           nodes[b].n_antennas, rng);
@@ -66,6 +83,11 @@ World::World(const channel::Testbed& testbed,
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
       if (a == b) continue;
+      // A belief is only ever read from a transmitter about a receiver.
+      if (!roles.empty() &&
+          !((roles[a] & kRoleTx) && (roles[b] & kRoleRx))) {
+        continue;
+      }
       recip_[a][b].resize(kSubcarriers);
       // One calibration error per antenna pair, constant across subcarriers
       // (hardware chains are flat over 10 MHz).
@@ -94,6 +116,8 @@ World::World(const channel::Testbed& testbed,
 const CMat& World::channel(std::size_t a, std::size_t b,
                            std::size_t sc) const {
   assert(a != b && sc < kSubcarriers);
+  // Fires if a sparse world is asked for a masked-out (rx-rx / tx-tx) pair.
+  assert(!channels_[a][b].empty());
   return channels_[a][b][sc];
 }
 
@@ -117,6 +141,8 @@ CMat World::estimate(const CMat& true_channel) const {
 const CMat& World::reciprocal_channel(std::size_t a, std::size_t b,
                                       std::size_t sc) const {
   assert(a != b && sc < kSubcarriers);
+  // Fires if a sparse world is asked for a belief it never materialized.
+  assert(!recip_[a][b].empty());
   return recip_[a][b][sc];
 }
 

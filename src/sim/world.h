@@ -14,6 +14,7 @@
 // MAC/throughput experiments can run thousands of rounds cheaply.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "channel/mimo_channel.h"
@@ -30,6 +31,12 @@ struct NodeSpec {
   std::size_t n_antennas = 1;
 };
 
+// Per-node role bits for the sparse world mode (see World constructor).
+enum NodeRole : std::uint8_t {
+  kRoleTx = 1,  // node transmits on some link
+  kRoleRx = 2,  // node receives on some link
+};
+
 struct WorldConfig {
   // Residual multiplicative reciprocity-calibration error (std of the
   // complex relative error). 0.045 yields ~27 dB max cancellation.
@@ -44,9 +51,22 @@ class World {
  public:
   // Places `nodes` at `locations` (testbed location indices) and draws all
   // pairwise channels.
+  //
+  // `roles` (optional) enables the sparse mode the scenario engine uses for
+  // generated large topologies: when non-empty (one NodeRole bitmask per
+  // node), only pairs where one endpoint transmits and the other receives
+  // get channels, reciprocity beliefs, and link SNRs — everything the round
+  // builder ever touches — while rx-rx and tx-tx pairs stay unmaterialized.
+  // A full N-node world is O(N^2 * 48) matrices; with N_t transmitters and
+  // N_r receivers the sparse world is O(N_t * N_r * 48), which is what makes
+  // 100-pair (200-node) worlds fit in memory. An empty `roles` reproduces
+  // the dense behavior (and its RNG stream) exactly. Accessing a channel,
+  // belief, or SNR for a masked-out pair is a contract violation (asserted;
+  // SNR reads return -300 dB).
   World(const channel::Testbed& testbed, const std::vector<NodeSpec>& nodes,
         const std::vector<std::size_t>& locations, util::Rng& rng,
-        const WorldConfig& config = {});
+        const WorldConfig& config = {},
+        const std::vector<std::uint8_t>& roles = {});
 
   std::size_t n_nodes() const { return nodes_.size(); }
   std::size_t antennas(std::size_t node) const {

@@ -26,11 +26,18 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
+  if (samples.empty() || std::isnan(p)) return 0.0;
   std::sort(samples.begin(), samples.end());
+  // Clamp p into [0, 100]: callers sweep percentile grids programmatically,
+  // and an out-of-range p must saturate at the extremes instead of indexing
+  // past the sample array (p > 100 put `hi` — and for p >= 100 + 100/(n-1),
+  // `lo` — beyond samples.size() - 1; p < 0 cast a negative rank to a huge
+  // unsigned index).
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const auto hi = std::min(static_cast<std::size_t>(std::ceil(rank)),
+                           samples.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
@@ -46,8 +53,15 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
   return cdf;
 }
 
-Histogram::Histogram(double lo, double hi, int nbuckets)
-    : lo_(lo), width_((hi - lo) / nbuckets) {
+Histogram::Histogram(double lo, double hi, int nbuckets) : lo_(lo) {
+  // Degenerate parameters (nbuckets <= 0, hi <= lo, NaN range) previously
+  // produced zero/negative/NaN bucket widths: add() then divided by 0 or
+  // computed a negative index that the unsigned cast turned into a huge one.
+  // Collapse such inputs to one unit-width bucket at `lo` so construction
+  // never yields non-finite bounds and add() stays in range.
+  if (nbuckets < 1) nbuckets = 1;
+  if (!(hi > lo)) hi = lo + 1.0;
+  width_ = (hi - lo) / nbuckets;
   buckets_.reserve(static_cast<std::size_t>(nbuckets));
   for (int i = 0; i < nbuckets; ++i) {
     buckets_.push_back({lo + i * width_, lo + (i + 1) * width_, {}});
@@ -55,10 +69,13 @@ Histogram::Histogram(double lo, double hi, int nbuckets)
 }
 
 void Histogram::add(double x, double y) {
-  if (x < lo_) return;
-  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
-  if (idx >= buckets_.size()) return;
-  buckets_[idx].stats.add(y);
+  if (!(x >= lo_)) return;  // also rejects NaN x
+  // Range-check in floating point BEFORE the integer cast: converting a
+  // double beyond size_t's range (x huge or +inf) is undefined, not merely
+  // out of range.
+  const double f = (x - lo_) / width_;
+  if (f >= static_cast<double>(buckets_.size())) return;
+  buckets_[static_cast<std::size_t>(f)].stats.add(y);
 }
 
 std::string bucket_label(const Bucket& b) {

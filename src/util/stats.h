@@ -28,8 +28,9 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-// Percentile of a sample set (linear interpolation between order statistics);
-// p in [0, 100]. Returns 0 for an empty sample.
+// Percentile of a sample set (linear interpolation between order statistics).
+// p is clamped into [0, 100] (out-of-range requests saturate at the min/max
+// sample). Returns 0 for an empty sample or a NaN p.
 double percentile(std::vector<double> samples, double p);
 
 // Empirical CDF evaluated over the sorted samples: returns (x, F(x)) pairs,
@@ -48,6 +49,9 @@ struct Bucket {
 };
 class Histogram {
  public:
+  // Requires hi > lo and nbuckets >= 1; degenerate parameters are collapsed
+  // to a single unit-width bucket at `lo` (bounds stay finite, add() stays
+  // in range) instead of producing NaN/inf bucket edges.
   Histogram(double lo, double hi, int nbuckets);
   // Adds y-value `y` into the bucket containing `x`; out-of-range x ignored.
   void add(double x, double y);

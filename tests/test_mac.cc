@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "mac/airtime.h"
 #include "mac/contention.h"
 #include "mac/dcf.h"
 #include "mac/event_sim.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace nplus::mac {
 namespace {
@@ -53,6 +55,56 @@ TEST(EventSim, RunUntilStops) {
   sim.run(2.0);
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(sim.pending(), 1u);
+  // An explicit horizon always advances the clock to it, even with events
+  // still pending beyond it.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(EventSim, AdvancesClockToHorizonWhenQueueDrains) {
+  // Regression: run(until) used to leave now() at the last event when the
+  // queue emptied early, so a session that went idle never aged to its
+  // horizon and rates computed from now() were inflated.
+  EventSim sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  // Scheduling after the advance respects the new clock.
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.run(12.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 12.0);
+}
+
+TEST(EventSim, DefaultRunKeepsClockAtLastEvent) {
+  // The kNever default keeps the historical "clock stops at the last
+  // executed event" behavior.
+  EventSim sim;
+  sim.schedule_at(3.5, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 3.5);
+}
+
+TEST(EventSim, HorizonBeforeAnyEventStillAdvances) {
+  EventSim sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run(2.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(EventSim, HandlersAreMovedNotCopied) {
+  // Regression: run() used to copy each handler out of priority_queue::top,
+  // duplicating the captured state of every event at dispatch time. With
+  // the move, exactly one live copy of the captured state remains when the
+  // handler executes.
+  EventSim sim;
+  auto token = std::make_shared<int>(0);
+  long observed = -1;
+  sim.schedule_at(1.0, [token, &observed] { observed = token.use_count(); });
+  token.reset();
+  sim.run();
+  EXPECT_EQ(observed, 1);
 }
 
 TEST(Backoff, CounterWithinWindow) {
@@ -113,6 +165,83 @@ TEST(Contend, TimeIncludesDifsAndSlots) {
               timing.difs_s * (1 + out.collisions) +
                   out.idle_slots * timing.slot_s + out.collisions * 500e-6,
               1e-9);
+}
+
+// --- DCF statistics ------------------------------------------------------
+
+TEST(Contend, WinnerUniformAcrossStationCounts) {
+  // The winner among n symmetric backlogged stations must be uniform; a
+  // bias here would skew every session's fairness numbers.
+  for (const std::size_t n : {2u, 5u, 8u}) {
+    util::Rng rng(100 + n);
+    std::map<std::size_t, int> wins;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) wins[contend(n, rng).winner]++;
+    EXPECT_EQ(wins.size(), n);
+    for (const auto& [w, count] : wins) {
+      EXPECT_NEAR(static_cast<double>(count) / trials, 1.0 / n, 0.035)
+          << "n=" << n << " station " << w;
+    }
+  }
+}
+
+TEST(Contend, SingleStationAccountingExact) {
+  // Hand-computed: one station never collides; it burns exactly its initial
+  // backoff draw in idle slots and DIFS once.
+  const phy::MacTiming timing;
+  util::Rng rng(200);
+  for (int i = 0; i < 300; ++i) {
+    const auto out = contend(1, rng, timing);
+    EXPECT_EQ(out.collisions, 0);
+    EXPECT_GE(out.idle_slots, 0);
+    EXPECT_LE(out.idle_slots, 15);  // cw_min
+    EXPECT_NEAR(out.elapsed_s,
+                timing.difs_s + out.idle_slots * timing.slot_s, 1e-12);
+  }
+}
+
+TEST(Contend, ForcedFirstSlotCollisionResolves) {
+  // Hand-computed small case: cw_min = 0 makes every station fire in slot
+  // 0, forcing a collision; the doubled window (cw = 1) then resolves with
+  // probability 1/2 per round. Check the exact accounting identity and that
+  // idle slots can only accrue after the first collision.
+  DcfConfig cfg;
+  cfg.cw_min = 0;
+  cfg.cw_max = 1;
+  const phy::MacTiming timing;
+  const double kCollisionCost = 500e-6;
+  util::Rng rng(201);
+  util::RunningStats collisions;
+  for (int i = 0; i < 400; ++i) {
+    const auto out = contend(2, rng, timing, cfg, kCollisionCost);
+    EXPECT_GE(out.collisions, 1);  // slot 0 always collides
+    // After each collision both counters are in {0, 1}: at most one idle
+    // slot per resolution round.
+    EXPECT_LE(out.idle_slots, out.collisions);
+    EXPECT_NEAR(out.elapsed_s,
+                timing.difs_s * (1 + out.collisions) +
+                    out.idle_slots * timing.slot_s +
+                    out.collisions * kCollisionCost,
+                1e-12);
+    collisions.add(out.collisions);
+  }
+  // Collisions beyond the forced first follow Geometric(1/2): mean total
+  // = 1 + 1 = 2.
+  EXPECT_NEAR(collisions.mean(), 2.0, 0.25);
+}
+
+TEST(Contend, CollisionsRareWithDefaultWindow) {
+  // With cw_min = 15 and 3 stations, most rounds resolve without any
+  // collision (P[all distinct draws] is high) — the sanity anchor for the
+  // session's contention-overhead accounting.
+  util::Rng rng(202);
+  int with_collision = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (contend(3, rng).collisions > 0) ++with_collision;
+  }
+  EXPECT_LT(static_cast<double>(with_collision) / trials, 0.35);
+  EXPECT_GT(with_collision, 0);  // but they do happen
 }
 
 // --- n+ contention: the four Fig. 5 scenarios ----------------------------

@@ -273,6 +273,45 @@ TEST(CarrierSense, BlindSubspaceEstimateFindsRankOne) {
   EXPECT_LT(linalg::principal_angle(est, truth), 0.05);
 }
 
+TEST(CarrierSense, BlindEstimateHandlesUnequalStreamLengths) {
+  // Regression: the sample window was sized from rx[0].size() but indexed
+  // every stream, so a shorter later stream (e.g. a truncated capture on
+  // one antenna chain) was read out of bounds. The window must clip to the
+  // shortest stream and still find the occupant.
+  util::Rng rng(14);
+  const CMat h = random_matrix(3, 1, rng);
+  const std::size_t n_long = 3000, n_short = 1500;
+  const double noise = 1e-4;
+  std::vector<Samples> rx;
+  rx.push_back(Samples(n_long));
+  rx.push_back(Samples(n_short));  // truncated chain
+  rx.push_back(Samples(n_long));
+  for (std::size_t t = 0; t < n_long; ++t) {
+    const cdouble p = rng.cgaussian();
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (t < rx[a].size()) rx[a][t] = h(a, 0) * p + rng.cgaussian(noise);
+    }
+  }
+  // Request a window past the short stream's end: must clip, not overrun.
+  const CMat est = estimate_occupied_subspace(rx, 0, n_long, noise);
+  EXPECT_EQ(est.rows(), 3u);
+  EXPECT_EQ(est.cols(), 1u);
+  const CMat truth = linalg::orthonormal_basis(h);
+  EXPECT_LT(linalg::principal_angle(est, truth), 0.05);
+
+  // A window lying entirely beyond the shortest stream yields an empty
+  // basis (no samples -> nothing detected), not a crash.
+  const CMat none = estimate_occupied_subspace(rx, n_short, 100, noise);
+  EXPECT_EQ(none.cols(), 0u);
+}
+
+TEST(CarrierSense, BlindEstimateEmptyInputIsEmptyBasis) {
+  // No streams: release builds must not rely on a debug-only assert.
+  const CMat est = estimate_occupied_subspace({}, 0, 100, 1e-4);
+  EXPECT_EQ(est.rows(), 0u);
+  EXPECT_EQ(est.cols(), 0u);
+}
+
 TEST(CarrierSense, DetectorThresholds) {
   util::Rng rng(13);
   const phy::Samples preamble = phy::stf_time();

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <utility>
 #include <vector>
@@ -245,6 +246,29 @@ TEST(Percentile, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(Percentile, OutOfRangePClampsToExtremes) {
+  // Regression: p > 100 indexed past samples.size() - 1 (for p >= 125 on a
+  // 5-sample set even `lo` overflowed); p < 0 cast a negative rank to a
+  // huge unsigned index. Both must saturate instead.
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0001), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1e9), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -0.0001), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -50), 1.0);
+  // NaN p slips through a plain clamp (both comparisons are false) and
+  // would turn into an arbitrary index; it must return the empty-sample
+  // sentinel instead.
+  EXPECT_DOUBLE_EQ(percentile(v, std::nan("")), 0.0);
+}
+
+TEST(Percentile, SingleSampleAnyP) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 200), 7.0);
+}
+
 TEST(EmpiricalCdf, MonotoneAndNormalized) {
   const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
   ASSERT_EQ(cdf.size(), 3u);
@@ -267,6 +291,47 @@ TEST(Histogram, BucketsValues) {
   EXPECT_DOUBLE_EQ(h.buckets()[0].stats.mean(), 15.0);
   EXPECT_EQ(h.buckets()[4].stats.count(), 1u);
   EXPECT_EQ(h.buckets()[1].stats.count(), 0u);
+}
+
+TEST(Histogram, DegenerateParametersCollapseToOneSafeBucket) {
+  // Regression: nbuckets <= 0 divided by zero (NaN width, and add()'s index
+  // math went out of range); hi <= lo produced negative widths whose
+  // negative bucket index the unsigned cast turned huge. Both now collapse
+  // to a single finite unit-width bucket.
+  for (Histogram h : {Histogram(0.0, 10.0, 0), Histogram(0.0, 10.0, -3),
+                      Histogram(5.0, 5.0, 4), Histogram(5.0, 2.0, 4)}) {
+    ASSERT_GE(h.buckets().size(), 1u);
+    for (const auto& b : h.buckets()) {
+      EXPECT_TRUE(std::isfinite(b.lo));
+      EXPECT_TRUE(std::isfinite(b.hi));
+      EXPECT_GT(b.hi, b.lo);
+    }
+    h.add(5.0, 1.0);   // in range of the collapsed bucket for the hi<=lo
+    h.add(-1e9, 1.0);  // far out of range: ignored, no crash
+    h.add(1e9, 1.0);
+    std::size_t total = 0;
+    for (const auto& b : h.buckets()) total += b.stats.count();
+    EXPECT_EQ(total, 1u);  // x = 5.0 is in range for every collapsed shape
+  }
+}
+
+TEST(Histogram, NanInputsIgnored) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::nan(""), 1.0);
+  for (const auto& b : h.buckets()) EXPECT_EQ(b.stats.count(), 0u);
+}
+
+TEST(Histogram, HugeAndInfiniteXIgnoredSafely) {
+  // The bucket index must be range-checked in floating point before the
+  // integer cast: converting 1e300 or +inf to size_t is undefined behavior,
+  // not just an out-of-range value.
+  Histogram h(0.0, 10.0, 5);
+  h.add(1e300, 1.0);
+  h.add(std::numeric_limits<double>::infinity(), 1.0);
+  h.add(-std::numeric_limits<double>::infinity(), 1.0);
+  for (const auto& b : h.buckets()) EXPECT_EQ(b.stats.count(), 0u);
+  h.add(9.999, 2.0);  // still lands in the last bucket
+  EXPECT_EQ(h.buckets()[4].stats.count(), 1u);
 }
 
 TEST(Units, DbRoundtrip) {
