@@ -1,0 +1,234 @@
+// Offline PER-curve calibration for the link abstraction (the kAbstracted
+// fidelity level).
+//
+// For every MCS this tool drives the REAL sample-level transceiver chain —
+// build_tx_frame_bytes (scramble, convolutional code, interleave, map,
+// IFFT, preamble) -> AWGN -> decode_frame (sync-free LTF channel
+// estimation, per-subcarrier equalization, soft demap, Viterbi, CRC-32) —
+// across a sweep of channel SNRs around the MCS's rate-selection threshold,
+// and records, per sweep point:
+//
+//   * the MEASURED post-equalization effective SNR (decode_frame's
+//     subcarrier_snr mapped through the MCS's own modulation, exactly the
+//     quantity the packet-level simulator computes via zf_stream_sinr), and
+//   * the packet error rate over `--trials` independent 1500-byte frames.
+//
+// Keying the curve on measured post-eq eSNR — not on the injected channel
+// SNR — bakes the chain's own estimation/equalization losses into the
+// abstraction, so the table lookup and the full-PHY scorer agree by
+// construction on the metric they are indexed by.
+//
+//   ./calibrate_per [--trials N] [--quick] [--write path/to/per_table_data.inc]
+//
+// The sweep spans [threshold - 7 dB, threshold + 4 dB] in 0.5 dB steps
+// (--quick: 1 dB steps, fewer trials — smoke only, do not check in). The
+// fitted curves are made isotonic (PER non-increasing in eSNR) by pooled
+// adjacent violators before writing, so the checked-in table loads clean.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "phy/esnr.h"
+#include "phy/frame.h"
+#include "phy/link_abstraction.h"
+#include "phy/mcs.h"
+#include "phy/transceiver.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace nplus;
+
+struct SweepPoint {
+  double channel_snr_db = 0.0;
+  double mean_esnr_db = 0.0;
+  double per = 0.0;
+  std::size_t trials = 0;
+};
+
+// PER + measured eSNR of `trials` 1500-byte frames at one injected SNR.
+SweepPoint run_point(const phy::Mcs& mcs, double channel_snr_db,
+                     std::size_t trials, util::Rng& rng) {
+  SweepPoint pt;
+  pt.channel_snr_db = channel_snr_db;
+  pt.trials = trials;
+
+  constexpr std::size_t kPayloadBytes = 1500;
+  std::size_t failures = 0;
+  double esnr_acc = 0.0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> payload(kPayloadBytes);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(256u));
+    }
+    const phy::PrecodingPlan plan = phy::PrecodingPlan::direct(1, 1);
+    const phy::TxFrame tx = phy::build_tx_frame_bytes({payload}, mcs, plan);
+
+    // Mean TX sample power over the data region sets the noise scale; the
+    // identity channel delivers the samples unchanged.
+    double power = 0.0;
+    const std::size_t data_off = tx.data_offset();
+    for (std::size_t i = data_off; i < tx.antennas[0].size(); ++i) {
+      power += std::norm(tx.antennas[0][i]);
+    }
+    power /= static_cast<double>(tx.antennas[0].size() - data_off);
+    const double noise_var = power / util::from_db(channel_snr_db);
+
+    std::vector<phy::Samples> rx = tx.antennas;
+    for (auto& ant : rx) {
+      for (auto& s : ant) s += rng.cgaussian(noise_var);
+    }
+
+    const phy::DecodeResult dec = phy::decode_frame(
+        rx, 0, {kPayloadBytes}, mcs, 1, {0}, phy::no_interference(1),
+        noise_var);
+    failures += dec.payloads[0].has_value() ? 0 : 1;
+    esnr_acc += util::to_db(std::max(
+        phy::effective_snr(dec.subcarrier_snr, mcs.modulation), 1e-30));
+  }
+  pt.per = static_cast<double>(failures) / static_cast<double>(trials);
+  pt.mean_esnr_db = esnr_acc / static_cast<double>(trials);
+  return pt;
+}
+
+// Isotonic (non-increasing) fit by pooled adjacent violators, weighted by
+// trial counts. Points must already be sorted by ascending eSNR.
+void make_isotonic(std::vector<phy::PerPoint>& pts,
+                   const std::vector<double>& weights) {
+  struct Block {
+    double per_sum, w_sum;
+    std::size_t first, last;
+  };
+  std::vector<Block> blocks;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    blocks.push_back({pts[i].per * weights[i], weights[i], i, i});
+    // Merge while the newer (higher-eSNR) block has HIGHER per than its
+    // predecessor — a violation of monotone decrease.
+    while (blocks.size() >= 2) {
+      const Block& b = blocks[blocks.size() - 1];
+      const Block& a = blocks[blocks.size() - 2];
+      if (b.per_sum / b.w_sum <= a.per_sum / a.w_sum + 1e-15) break;
+      Block merged{a.per_sum + b.per_sum, a.w_sum + b.w_sum, a.first,
+                   b.last};
+      blocks.pop_back();
+      blocks.pop_back();
+      blocks.push_back(merged);
+    }
+  }
+  for (const Block& b : blocks) {
+    const double v = b.per_sum / b.w_sum;
+    for (std::size_t i = b.first; i <= b.last; ++i) pts[i].per = v;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t trials = 400;
+  double step_db = 0.5;
+  std::string write_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      trials = 40;
+      step_db = 1.0;
+    } else if (std::strcmp(argv[i], "--write") == 0 && i + 1 < argc) {
+      write_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials N] [--quick] [--write path]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const std::uint64_t kSeed = 1234;
+  util::Rng master(kSeed);
+
+  std::vector<phy::PerCurve> curves;
+  std::vector<std::vector<SweepPoint>> raw_points;
+  for (const phy::Mcs& mcs : phy::mcs_table()) {
+    // Each (mcs, sweep point) gets its own forked stream so the sweep is
+    // reproducible point-by-point.
+    util::Rng mcs_rng = master.fork(static_cast<std::uint64_t>(mcs.index));
+    const double lo = mcs.min_esnr_db - 7.0;
+    const double hi = mcs.min_esnr_db + 4.0;
+
+    phy::PerCurve curve;
+    curve.mcs_index = mcs.index;
+    std::vector<double> weights;
+    std::vector<SweepPoint> pts;
+    std::size_t label = 0;
+    for (double snr = lo; snr <= hi + 1e-9; snr += step_db) {
+      util::Rng rng = mcs_rng.fork(1000 + label++);
+      const SweepPoint pt = run_point(mcs, snr, trials, rng);
+      pts.push_back(pt);
+      curve.points.push_back({pt.mean_esnr_db, pt.per});
+      weights.push_back(static_cast<double>(pt.trials));
+      std::printf("mcs %d (%-10s) chan %6.2f dB  esnr %6.2f dB  PER %.4f\n",
+                  mcs.index, mcs.name().c_str(), pt.channel_snr_db,
+                  pt.mean_esnr_db, pt.per);
+      std::fflush(stdout);
+    }
+    // Measured eSNRs rise monotonically with injected SNR up to noise; sort
+    // defensively, then isotonic-fit the PERs.
+    std::vector<std::size_t> order(curve.points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return curve.points[a].esnr_db < curve.points[b].esnr_db;
+    });
+    std::vector<phy::PerPoint> sorted;
+    std::vector<double> sorted_w;
+    for (std::size_t i : order) {
+      sorted.push_back(curve.points[i]);
+      sorted_w.push_back(weights[i]);
+    }
+    make_isotonic(sorted, sorted_w);
+    curve.points = std::move(sorted);
+    curves.push_back(curve);
+    raw_points.push_back(std::move(pts));
+  }
+
+  // Report how the calibrated waterfall sits against the rate-selection
+  // thresholds (the abstraction's sanity check: PER at threshold is small).
+  const phy::LinkAbstraction table(curves);
+  for (const phy::Mcs& mcs : phy::mcs_table()) {
+    std::printf("mcs %d: PER @ threshold %.1f dB -> %.4f\n", mcs.index,
+                mcs.min_esnr_db, table.per_1500(mcs, mcs.min_esnr_db));
+  }
+
+  if (!write_path.empty()) {
+    FILE* f = std::fopen(write_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", write_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "// Calibrated eSNR -> PER curves (1500-byte frames), one "
+                 "entry per MCS.\n"
+                 "// GENERATED by bench/calibrate_per.cc — do not edit by "
+                 "hand. Regenerate:\n"
+                 "//   ./calibrate_per --trials %zu --write "
+                 "src/phy/per_table_data.inc\n"
+                 "// seed=%llu step=%.2fdB chain=sample-level transceiver "
+                 "(see tool header)\n",
+                 trials, static_cast<unsigned long long>(kSeed), step_db);
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      std::fprintf(f, "{%d, {\n", curves[c].mcs_index);
+      for (const auto& p : curves[c].points) {
+        std::fprintf(f, "  {%.6g, %.6g},\n", p.esnr_db, p.per);
+      }
+      std::fprintf(f, "}},\n");
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", write_path.c_str());
+  }
+  return 0;
+}

@@ -54,11 +54,32 @@ double effective_snr_db(const std::vector<double>& subcarrier_snr_db,
 
 const Mcs* select_mcs_esnr(const std::vector<double>& subcarrier_snr_linear,
                            double margin_db) {
+  if (subcarrier_snr_linear.empty()) return nullptr;
+  // ESNR_m >= thr_m + margin  <=>  mean_k BER_m(snr_k) <= BER_m(thr + margin)
+  // because ber_awgn is strictly decreasing in SNR — so each threshold is
+  // tested in BER domain without ever inverting the curve, and the mean
+  // BER is computed once per *modulation* (the table shares modulations
+  // across code rates). This is the hottest call in large-world rounds
+  // (every join attempt of every contender selects a rate); the previous
+  // per-MCS bisection inversion dominated whole-session profiles.
+  static_assert(static_cast<int>(Modulation::kQam64) == 3,
+                "mean_ber cache is sized for the 4 modulations BPSK..QAM64; "
+                "extend it alongside the Modulation enum");
+  double mean_ber[4] = {-1.0, -1.0, -1.0, -1.0};
   const Mcs* best = nullptr;
   for (const auto& mcs : mcs_table()) {
-    const double esnr = effective_snr(subcarrier_snr_linear, mcs.modulation);
-    const double esnr_db = util::to_db(std::max(esnr, 1e-30));
-    if (esnr_db >= mcs.min_esnr_db + margin_db) {
+    const auto mi = static_cast<std::size_t>(mcs.modulation);
+    if (mean_ber[mi] < 0.0) {
+      double acc = 0.0;
+      for (double snr : subcarrier_snr_linear) {
+        acc += ber_awgn(mcs.modulation, std::max(snr, 0.0));
+      }
+      mean_ber[mi] =
+          acc / static_cast<double>(subcarrier_snr_linear.size());
+    }
+    const double threshold_ber = ber_awgn(
+        mcs.modulation, util::from_db(mcs.min_esnr_db + margin_db));
+    if (mean_ber[mi] <= threshold_ber) {
       if (best == nullptr || mcs.bitrate_mbps > best->bitrate_mbps) {
         best = &mcs;
       }

@@ -99,6 +99,11 @@ class RoundBuilder {
   const Scenario& sc_;
   util::Rng& rng_;
   const RoundConfig& cfg_;
+  // Dedicated stream for kFullPhy payload/noise draws, forked from rng_ at
+  // round start in BOTH fidelity modes: the protocol path consumes rng_
+  // identically whichever mode runs, so a (world, scenario, seed) triple
+  // yields the same winners/rates/airtimes at either fidelity.
+  util::Rng phy_rng_{0, 0};
 
   std::vector<ActiveGroup> groups_;
   std::size_t used_dof_ = 0;
@@ -421,6 +426,13 @@ void RoundBuilder::finalize(RoundResult& result) {
       const std::vector<CMat>& truth = eff_true(g, l.rx_node);
       std::vector<double> sinrs;
       sinrs.reserve(kSc * l.n_streams);
+      std::vector<std::vector<double>> stream_sinr(l.n_streams);
+      for (auto& v : stream_sinr) v.reserve(kSc);
+      // Per-stream symbol observation models, kept only for full-PHY
+      // scoring (kSc entries per stream once the loop finishes).
+      std::vector<std::vector<phy::StreamRxModel>> stream_models(
+          cfg_.fidelity == Fidelity::kFullPhy ? l.n_streams : 0);
+      for (auto& v : stream_models) v.reserve(kSc);
       for (std::size_t s = 0; s < kSc; ++s) {
         RxObservation obs;
         obs.g_true = CMat(w_.antennas(l.rx_node), 0);
@@ -445,8 +457,23 @@ void RoundBuilder::finalize(RoundResult& result) {
         obs.interference_true = f;
         obs.unwanted_basis = l.advertised_u[s];
         obs.noise_power = w_.noise_power();
-        const std::vector<double> sinr = zf_stream_sinr(obs);
-        sinrs.insert(sinrs.end(), sinr.begin(), sinr.end());
+        if (stream_models.empty()) {
+          const std::vector<double> sinr = zf_stream_sinr(obs);
+          for (std::size_t j = 0; j < sinr.size() && j < l.n_streams;
+               ++j) {
+            sinrs.push_back(sinr[j]);
+            stream_sinr[j].push_back(sinr[j]);
+          }
+        } else {
+          std::vector<phy::StreamRxModel> models =
+              zf_stream_rx_models(obs);
+          for (std::size_t j = 0; j < models.size() && j < l.n_streams;
+               ++j) {
+            sinrs.push_back(models[j].sinr);
+            stream_sinr[j].push_back(models[j].sinr);
+            stream_models[j].push_back(std::move(models[j]));
+          }
+        }
       }
       out.final_esnr_db = util::to_db(std::max(
           phy::effective_snr(sinrs, mcs.modulation), 1e-30));
@@ -461,17 +488,54 @@ void RoundBuilder::finalize(RoundResult& result) {
               : 0.0;
       const double usable_syms = std::max(
           0.0, static_cast<double>(n_sym_body) - lost_syms);
-      const double bits = static_cast<double>(l.n_streams) * usable_syms *
-                          static_cast<double>(mcs.n_dbps);
-      const std::size_t bytes = static_cast<std::size_t>(bits / 8.0);
-      out.per = phy::packet_error_rate(mcs, out.final_esnr_db, bytes);
-      out.delivered_bits = bits * (1.0 - out.per);
+      const double stream_bits =
+          usable_syms * static_cast<double>(mcs.n_dbps);
+      if (stream_bits <= 0.0) {
+        out.per = 0.0;  // nothing sent, nothing lost
+        out.delivered_bits = 0.0;
+        continue;
+      }
+
+      // Streams carry independent codewords (§3.1: joiners fragment/
+      // aggregate per stream), so delivery is scored per stream from that
+      // stream's own post-equalization subcarrier SINRs.
+      double delivered = 0.0;
+      double per_acc = 0.0;
+      if (cfg_.fidelity == Fidelity::kAbstracted) {
+        const phy::LinkAbstraction& table =
+            cfg_.link_abstraction != nullptr
+                ? *cfg_.link_abstraction
+                : phy::LinkAbstraction::calibrated();
+        const auto stream_bytes =
+            static_cast<std::size_t>(stream_bits / 8.0);
+        for (std::size_t j = 0; j < l.n_streams; ++j) {
+          const double esnr_j = util::to_db(std::max(
+              phy::effective_snr(stream_sinr[j], mcs.modulation), 1e-30));
+          const double p = table.per(mcs, esnr_j, stream_bytes);
+          per_acc += p;
+          delivered += stream_bits * (1.0 - p);
+        }
+      } else {
+        const auto n_sym = static_cast<std::size_t>(
+            std::llround(std::max(1.0, usable_syms)));
+        const std::size_t payload_bytes =
+            phy::payload_bytes_for_symbols(n_sym, mcs);
+        for (std::size_t j = 0; j < l.n_streams; ++j) {
+          const bool ok = phy::simulate_stream_delivery_mimo(
+              payload_bytes, mcs, stream_models[j], phy_rng_);
+          per_acc += ok ? 0.0 : 1.0;
+          delivered += ok ? stream_bits : 0.0;
+        }
+      }
+      out.per = per_acc / static_cast<double>(l.n_streams);
+      out.delivered_bits = delivered;
     }
   }
 }
 
 RoundResult RoundBuilder::run() {
   RoundResult result;
+  phy_rng_ = rng_.fork(0xF1DE11);
 
   // Candidate transmitters in contention.
   std::vector<std::size_t> pending = sc_.transmitters();
@@ -538,7 +602,9 @@ IsolatedTxResult evaluate_isolated_tx(const World& world,
                                       const IsolatedTxSpec& spec,
                                       util::Rng& rng,
                                       const RoundConfig& config) {
-  (void)rng;
+  // As in RoundBuilder: the PHY stream is forked in both fidelity modes so
+  // the caller's stream advances identically whichever mode runs.
+  util::Rng phy_rng = rng.fork(0xF1DE11);
   IsolatedTxResult result;
   result.outcomes.assign(spec.dests.size(), LinkOutcome{});
 
@@ -589,6 +655,11 @@ IsolatedTxResult evaluate_isolated_tx(const World& world,
   for (std::size_t d = 0; d < spec.dests.size(); ++d) {
     const auto& dest = spec.dests[d];
     std::vector<double> sinrs;
+    std::vector<std::vector<double>> stream_sinr(dest.n_streams);
+    for (auto& sv : stream_sinr) sv.reserve(kSc);
+    std::vector<std::vector<phy::StreamRxModel>> stream_models(
+        config.fidelity == Fidelity::kFullPhy ? dest.n_streams : 0);
+    for (auto& sv : stream_models) sv.reserve(kSc);
     for (std::size_t s = 0; s < kSc; ++s) {
       const CMat eff = cdouble{amp, 0.0} *
                        (world.channel(spec.tx_node, dest.rx_node, s) * v[s]);
@@ -612,8 +683,22 @@ IsolatedTxResult evaluate_isolated_tx(const World& world,
         obs.unwanted_basis = CMat(eff.rows(), 0);
       }
       obs.noise_power = world.noise_power();
-      const std::vector<double> sinr = zf_stream_sinr(obs);
-      sinrs.insert(sinrs.end(), sinr.begin(), sinr.end());
+      if (stream_models.empty()) {
+        const std::vector<double> sinr = zf_stream_sinr(obs);
+        for (std::size_t j = 0; j < sinr.size() && j < dest.n_streams;
+             ++j) {
+          sinrs.push_back(sinr[j]);
+          stream_sinr[j].push_back(sinr[j]);
+        }
+      } else {
+        std::vector<phy::StreamRxModel> models = zf_stream_rx_models(obs);
+        for (std::size_t j = 0; j < models.size() && j < dest.n_streams;
+             ++j) {
+          sinrs.push_back(models[j].sinr);
+          stream_sinr[j].push_back(models[j].sinr);
+          stream_models[j].push_back(std::move(models[j]));
+        }
+      }
     }
     LinkOutcome& out = result.outcomes[d];
     out.streams = dest.n_streams;
@@ -624,11 +709,39 @@ IsolatedTxResult evaluate_isolated_tx(const World& world,
         std::max(phy::effective_snr(sinrs, mcs->modulation), 1e-30));
     out.final_esnr_db = out.esnr_db;
     const std::size_t bytes = config.packet_bytes;
-    out.per = phy::packet_error_rate(*mcs, out.final_esnr_db, bytes);
-    out.delivered_bits =
-        static_cast<double>(8 * bytes) * (1.0 - out.per);
-    max_syms = std::max(max_syms, phy::n_data_symbols(*mcs, bytes,
-                                                      dest.n_streams));
+    const std::size_t n_syms =
+        phy::n_data_symbols(*mcs, bytes, dest.n_streams);
+
+    // One packet striped across the destination's streams: every stream's
+    // share must decode, so link PER = 1 - prod_j (1 - PER_j).
+    if (config.fidelity == Fidelity::kAbstracted) {
+      const phy::LinkAbstraction& table =
+          config.link_abstraction != nullptr
+              ? *config.link_abstraction
+              : phy::LinkAbstraction::calibrated();
+      const std::size_t stream_bytes =
+          std::max<std::size_t>(bytes / dest.n_streams, 1);
+      double p_all = 1.0;
+      for (std::size_t j = 0; j < dest.n_streams; ++j) {
+        const double esnr_j = util::to_db(std::max(
+            phy::effective_snr(stream_sinr[j], mcs->modulation), 1e-30));
+        p_all *= 1.0 - table.per(*mcs, esnr_j, stream_bytes);
+      }
+      out.per = 1.0 - p_all;
+      out.delivered_bits = static_cast<double>(8 * bytes) * p_all;
+    } else {
+      const std::size_t payload_bytes =
+          phy::payload_bytes_for_symbols(n_syms, *mcs);
+      bool ok = true;
+      for (std::size_t j = 0; j < dest.n_streams; ++j) {
+        ok = phy::simulate_stream_delivery_mimo(payload_bytes, *mcs,
+                                                stream_models[j], phy_rng) &&
+             ok;
+      }
+      out.per = ok ? 0.0 : 1.0;
+      out.delivered_bits = ok ? static_cast<double>(8 * bytes) : 0.0;
+    }
+    max_syms = std::max(max_syms, n_syms);
   }
 
   // Airtime: preamble + header + body + SIFS + ACK (base rate); body only

@@ -20,10 +20,26 @@
 #include "mac/airtime.h"
 #include "mac/contention.h"
 #include "nulling/admission.h"
+#include "phy/link_abstraction.h"
 #include "sim/rx_math.h"
 #include "sim/world.h"
 
 namespace nplus::sim {
+
+// Simulation fidelity of delivery scoring (see phy/link_abstraction.h).
+// Both levels share the identical protocol path — contention, admission,
+// precoding, rate selection — and consume the caller's RNG stream
+// identically, so a (world, scenario, seed) triple produces the same winner
+// orders, bitrates, and airtimes in either mode; only how each stream's
+// delivery is scored differs:
+//   kAbstracted — calibrated eSNR -> PER table, expected delivered bits.
+//   kFullPhy    — each stream's payload actually transmitted through the
+//                 codec chain at the measured per-subcarrier SINRs; the
+//                 CRC verdict of that one realization decides delivery.
+enum class Fidelity {
+  kAbstracted,
+  kFullPhy,
+};
 
 // A traffic demand: tx_node wants to send to rx_node. Several links may
 // share a transmitter (the Fig. 4 AP scenario).
@@ -64,6 +80,13 @@ struct RoundConfig {
   // winner order uniformly at random (the paper's §6.3 methodology) and
   // charge average contention time.
   bool dcf_contention = false;
+  // Delivery-scoring fidelity (see the enum above). The fast abstracted
+  // path is the default; kFullPhy is the reference mode the abstraction is
+  // validated against (tests/test_fidelity.cc) at ~10-100x the cost.
+  Fidelity fidelity = Fidelity::kAbstracted;
+  // PER table for kAbstracted; nullptr = LinkAbstraction::calibrated()
+  // (the checked-in offline calibration). Tests inject custom tables here.
+  const phy::LinkAbstraction* link_abstraction = nullptr;
 };
 
 struct LinkOutcome {
@@ -71,6 +94,8 @@ struct LinkOutcome {
   int mcs_index = -1;            // -1: link did not transmit (or no rate)
   double esnr_db = -100.0;       // ESNR at rate-selection time
   double final_esnr_db = -100.0; // ESNR with every joiner on the air
+  // kAbstracted: mean per-stream PER from the calibrated table.
+  // kFullPhy: realized fraction of this link's streams that failed CRC.
   double per = 1.0;
   double delivered_bits = 0.0;
 };

@@ -32,6 +32,8 @@ using RoundFn =
 struct ExperimentConfig {
   std::size_t n_placements = 100;
   std::size_t rounds_per_placement = 10;
+  // round.fidelity selects abstracted vs full-PHY delivery scoring for
+  // every method evaluated through this config (sim::Fidelity in round.h).
   RoundConfig round{};
   WorldConfig world{};
   std::uint64_t seed = 1;

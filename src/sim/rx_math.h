@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "linalg/mat.h"
+#include "phy/link_abstraction.h"
 
 namespace nplus::sim {
 
@@ -47,5 +48,12 @@ struct RxObservation {
 // effective channel, and eats whatever self-distortion, residual
 // interference, and enhanced noise remain.
 std::vector<double> zf_stream_sinr(const RxObservation& obs);
+
+// One phy::StreamRxModel per wanted stream — the post-combining symbol
+// observation model the full-PHY scorer realizes term by term (see
+// phy/link_abstraction.h). Zero gain / zero sinr when the projected space
+// cannot support the streams, mirroring zf_stream_sinr's zeros.
+using phy::StreamRxModel;
+std::vector<StreamRxModel> zf_stream_rx_models(const RxObservation& obs);
 
 }  // namespace nplus::sim

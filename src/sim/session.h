@@ -32,6 +32,10 @@ struct SessionConfig {
   // Per-round protocol knobs. Sessions default to the REAL DCF backoff path
   // (slotted CSMA/CA, collisions, exponential backoff) instead of the
   // paper's random-winner methodology — that is the point of a session.
+  // `round.fidelity` selects the delivery-scoring fidelity (sim::Fidelity):
+  // the same session seed replays the identical protocol trace in either
+  // mode, so abstracted/full-PHY runs are directly comparable round by
+  // round (tests/test_fidelity.cc relies on this).
   RoundConfig round = [] {
     RoundConfig r;
     r.dcf_contention = true;

@@ -1,5 +1,6 @@
 #include "sim/world.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -35,6 +36,16 @@ World::World(const channel::Testbed& testbed,
   assert(roles.empty() || roles.size() == nodes.size());
   const std::size_t n = nodes.size();
   static const auto data_sc = phy::data_subcarriers();
+
+  if (config_.lazy_channels) {
+    // Nothing is drawn up front: keep what materialization needs and
+    // reserve a fork base whose children are keyed purely by pair labels.
+    testbed_ = testbed;
+    locations_ = locations;
+    roles_ = roles;
+    lazy_base_ = rng.fork(0x177);
+    return;
+  }
 
   channels_.assign(n, std::vector<std::vector<CMat>>(n));
   recip_.assign(n, std::vector<std::vector<CMat>>(n));
@@ -116,13 +127,117 @@ World::World(const channel::Testbed& testbed,
 const CMat& World::channel(std::size_t a, std::size_t b,
                            std::size_t sc) const {
   assert(a != b && sc < kSubcarriers);
+  if (config_.lazy_channels) return lazy_channel(a, b)[sc];
   // Fires if a sparse world is asked for a masked-out (rx-rx / tx-tx) pair.
   assert(!channels_[a][b].empty());
   return channels_[a][b][sc];
 }
 
 double World::link_snr_db(std::size_t a, std::size_t b) const {
+  if (config_.lazy_channels) return lazy_link_snr_db(a, b);
   return link_snr_db_[a][b];
+}
+
+const std::vector<CMat>& World::lazy_channel(std::size_t a,
+                                             std::size_t b) const {
+  // Same masked-pair contract as the eager sparse mode.
+  assert(pair_active(roles_, a, b));
+  const std::size_t n = nodes_.size();
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  const std::uint64_t key = static_cast<std::uint64_t>(lo) * n + hi;
+  auto it = lazy_pairs_.find(key);
+  if (it == lazy_pairs_.end()) {
+    static const auto data_sc = phy::data_subcarriers();
+    // Copy-then-fork: lazy_base_ itself never advances, so the child
+    // stream depends only on the pair label, never on access order.
+    util::Rng base = lazy_base_;
+    util::Rng pair_rng = base.fork(key);
+    const channel::MimoChannel fwd = testbed_.make_channel(
+        locations_[lo], locations_[hi], nodes_[lo].n_antennas,
+        nodes_[hi].n_antennas, pair_rng);
+    LazyPair entry;
+    entry.fwd.resize(kSubcarriers);
+    entry.rev.resize(kSubcarriers);
+    for (std::size_t s = 0; s < kSubcarriers; ++s) {
+      const CMat h = fwd.freq_response(data_sc[s], config_.fft_size);
+      entry.fwd[s] = h;
+      entry.rev[s] = h.transpose();
+    }
+    it = lazy_pairs_.emplace(key, std::move(entry)).first;
+  }
+  return a < b ? it->second.fwd : it->second.rev;
+}
+
+double World::lazy_link_snr_db(std::size_t a, std::size_t b) const {
+  if (a == b) return -300.0;
+  if (!pair_active(roles_, a, b)) return -300.0;
+  const std::size_t n = nodes_.size();
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  const std::uint64_t key = static_cast<std::uint64_t>(lo) * n + hi;
+  auto it = lazy_snr_.find(key);
+  if (it == lazy_snr_.end()) {
+    // The link budget (pathloss + shadowing) is the FIRST draw of the
+    // pair's stream — the same draw make_channel consumes first — so the
+    // channel materialized later realizes exactly this shadowing.
+    util::Rng base = lazy_base_;
+    util::Rng pair_rng = base.fork(key);
+    const double gain =
+        testbed_.link_gain(locations_[lo], locations_[hi], pair_rng);
+    const double snr = util::to_db(std::max(gain, 1e-30) / noise_power_);
+    it = lazy_snr_.emplace(key, snr).first;
+  }
+  return it->second;
+}
+
+const std::vector<CMat>& World::lazy_recip(std::size_t a,
+                                           std::size_t b) const {
+  // A belief is only ever read from a transmitter about a receiver.
+  assert(roles_.empty() ||
+         ((roles_[a] & kRoleTx) && (roles_[b] & kRoleRx)));
+  const std::size_t n = nodes_.size();
+  const std::uint64_t key = static_cast<std::uint64_t>(n) * n +
+                            static_cast<std::uint64_t>(a) * n + b;
+  auto it = lazy_recip_.find(key);
+  if (it == lazy_recip_.end()) {
+    const std::vector<CMat>& rev_chan = lazy_channel(b, a);  // M_a x N_b
+    util::Rng base = lazy_base_;
+    util::Rng recip_rng = base.fork(key);
+    // One calibration error per antenna pair, constant across subcarriers
+    // (hardware chains are flat over 10 MHz) — as in the eager mode, but
+    // drawn from the directed pair's own stream.
+    CMat cal(nodes_[b].n_antennas, nodes_[a].n_antennas);
+    for (std::size_t r = 0; r < cal.rows(); ++r) {
+      for (std::size_t c = 0; c < cal.cols(); ++c) {
+        cal(r, c) = cdouble{1.0, 0.0} +
+                    recip_rng.cgaussian(config_.calibration_std *
+                                        config_.calibration_std);
+      }
+    }
+    const double est_var =
+        config_.estimation_noise_scale * noise_power_ / 2.0;
+    std::vector<CMat> beliefs(kSubcarriers);
+    for (std::size_t s = 0; s < kSubcarriers; ++s) {
+      CMat est_rev = rev_chan[s];
+      if (config_.estimation_noise_scale > 0.0) {
+        for (std::size_t r = 0; r < est_rev.rows(); ++r) {
+          for (std::size_t c = 0; c < est_rev.cols(); ++c) {
+            est_rev(r, c) += recip_rng.cgaussian(est_var);
+          }
+        }
+      }
+      CMat belief = est_rev.transpose();  // N_b x M_a
+      for (std::size_t r = 0; r < belief.rows(); ++r) {
+        for (std::size_t c = 0; c < belief.cols(); ++c) {
+          belief(r, c) *= cal(r, c);
+        }
+      }
+      beliefs[s] = std::move(belief);
+    }
+    it = lazy_recip_.emplace(key, std::move(beliefs)).first;
+  }
+  return it->second;
 }
 
 CMat World::estimate(const CMat& true_channel) const {
@@ -141,6 +256,7 @@ CMat World::estimate(const CMat& true_channel) const {
 const CMat& World::reciprocal_channel(std::size_t a, std::size_t b,
                                       std::size_t sc) const {
   assert(a != b && sc < kSubcarriers);
+  if (config_.lazy_channels) return lazy_recip(a, b)[sc];
   // Fires if a sparse world is asked for a belief it never materialized.
   assert(!recip_[a][b].empty());
   return recip_[a][b][sc];

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "channel/mimo_channel.h"
@@ -45,6 +46,21 @@ struct WorldConfig {
   // disables estimation error for idealized studies).
   double estimation_noise_scale = 1.0;
   std::size_t fft_size = 64;
+  // Lazy mode: draw nothing up front; materialize each pair's channels,
+  // reciprocity beliefs, and link SNR on first access. Every pair draws
+  // from its own label-forked RNG stream, so results are deterministic and
+  // independent of access order — but NOT bit-identical to the eager modes
+  // (a different, per-pair stream layout). The eager modes draw the full
+  // tx-rx cross product (O(N^2) pairs x 48 subcarriers), which tops out
+  // around 100-pair worlds; lazy worlds only pay for pairs a round
+  // actually touches (winners x receivers, plus scalar SNRs for admission),
+  // which is what makes 250/500-pair topologies fit in CI memory and time.
+  // Lazy link SNR is the pathloss+shadowing link budget (the same draw that
+  // seeds the pair's channel, so the later-materialized channel realizes
+  // exactly that shadowing); eager SNR additionally averages the fading
+  // realization. A lazy World mutates on read: do not share one instance
+  // across threads (the parallel harness gives each item its own world).
+  bool lazy_channels = false;
 };
 
 class World {
@@ -97,6 +113,13 @@ class World {
   static constexpr std::size_t kSubcarriers = 48;
 
  private:
+  // Lazy-mode materialization (config_.lazy_channels). Each helper forks a
+  // fresh child off lazy_base_ by a pair-derived label, so what a pair
+  // contains never depends on which pairs were touched before it.
+  const std::vector<CMat>& lazy_channel(std::size_t a, std::size_t b) const;
+  const std::vector<CMat>& lazy_recip(std::size_t a, std::size_t b) const;
+  double lazy_link_snr_db(std::size_t a, std::size_t b) const;
+
   std::vector<NodeSpec> nodes_;
   WorldConfig config_;
   double noise_power_;
@@ -106,6 +129,19 @@ class World {
   // recip_[a][b][sc]: a's belief about channel a -> b.
   std::vector<std::vector<std::vector<CMat>>> recip_;
   std::vector<std::vector<double>> link_snr_db_;
+
+  // Lazy-mode state (unused by the eager modes).
+  struct LazyPair {
+    std::vector<CMat> fwd;  // lo -> hi, per subcarrier
+    std::vector<CMat> rev;  // hi -> lo (transpose: reciprocity)
+  };
+  channel::Testbed testbed_{std::vector<channel::Location>{}};
+  std::vector<std::size_t> locations_;
+  std::vector<std::uint8_t> roles_;
+  util::Rng lazy_base_{0, 0};  // copied, never advanced, per fork
+  mutable std::map<std::uint64_t, LazyPair> lazy_pairs_;
+  mutable std::map<std::uint64_t, std::vector<CMat>> lazy_recip_;
+  mutable std::map<std::uint64_t, double> lazy_snr_;
 };
 
 }  // namespace nplus::sim

@@ -1,0 +1,193 @@
+// Golden-trace regression: pinned-seed session summaries for every preset,
+// diffed against checked-in fixtures in tests/golden/*.json.
+//
+// The fixtures pin the observable behavior of the whole stack — scenario
+// generation, world drawing, DCF contention, admission, precoding, rate
+// selection, and abstracted delivery scoring — for a fixed seed. Any
+// intentional behavior change (new calibration table, protocol tweak,
+// accounting fix) shifts them; regenerate deliberately with:
+//
+//   ./test_golden_trace --update-golden
+//
+// and review the diff like any other code change. Values are compared with
+// a 1e-6 relative tolerance so the fixtures survive compiler/platform FP
+// variation (FMA contraction, libm differences) without masking real
+// changes, which move results by orders of magnitude more.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_gen.h"
+#include "sim/session.h"
+#include "util/rng.h"
+
+#ifndef NPLUS_GOLDEN_DIR
+#error "NPLUS_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace nplus {
+namespace {
+
+bool g_update_golden = false;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr std::size_t kRounds = 60;
+
+struct GoldenTrace {
+  std::size_t rounds = 0;
+  double duration_s = 0.0;
+  double total_mbps = 0.0;
+  double jain = 0.0;
+  double joins_per_round = 0.0;
+  double streams_per_round = 0.0;
+  std::vector<double> per_link_mbps;
+};
+
+GoldenTrace run_trace(sim::Preset preset) {
+  util::Rng rng(kSeed);
+  util::Rng world_rng = rng.fork(11);
+  util::Rng session_rng = rng.fork(12);
+  const sim::GeneratedTopology topo = sim::make_preset(preset, rng);
+  const sim::World world = sim::make_world(topo, world_rng);
+  sim::SessionConfig cfg;
+  cfg.n_rounds = kRounds;
+  cfg.round.fidelity = sim::Fidelity::kAbstracted;
+  const sim::SessionResult res =
+      sim::run_session(world, topo.scenario, session_rng, cfg);
+  GoldenTrace t;
+  t.rounds = res.rounds;
+  t.duration_s = res.duration_s;
+  t.total_mbps = res.total_mbps;
+  t.jain = res.jain;
+  t.joins_per_round = res.mean_winners_per_round;
+  t.streams_per_round = res.mean_streams_per_round;
+  t.per_link_mbps = res.per_link_mbps;
+  return t;
+}
+
+std::string golden_path(sim::Preset preset) {
+  return std::string(NPLUS_GOLDEN_DIR) + "/" + sim::preset_name(preset) +
+         ".json";
+}
+
+void write_golden(sim::Preset preset, const GoldenTrace& t) {
+  FILE* f = std::fopen(golden_path(preset).c_str(), "w");
+  ASSERT_NE(f, nullptr) << "cannot write " << golden_path(preset);
+  std::fprintf(f,
+               "{\n"
+               "  \"preset\": \"%s\",\n"
+               "  \"seed\": %llu,\n"
+               "  \"rounds\": %zu,\n"
+               "  \"fidelity\": \"abstracted\",\n"
+               "  \"duration_s\": %.17g,\n"
+               "  \"total_mbps\": %.17g,\n"
+               "  \"jain\": %.17g,\n"
+               "  \"joins_per_round\": %.17g,\n"
+               "  \"streams_per_round\": %.17g,\n"
+               "  \"per_link_mbps\": [",
+               sim::preset_name(preset),
+               static_cast<unsigned long long>(kSeed), t.rounds,
+               t.duration_s, t.total_mbps, t.jain, t.joins_per_round,
+               t.streams_per_round);
+  for (std::size_t i = 0; i < t.per_link_mbps.size(); ++i) {
+    std::fprintf(f, "%s%.17g", i == 0 ? "" : ", ", t.per_link_mbps[i]);
+  }
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+}
+
+// Minimal field scanner for the flat JSON this suite itself writes.
+double scan_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+std::vector<double> scan_array(const std::string& text,
+                               const std::string& key) {
+  const std::string needle = "\"" + key + "\": [";
+  const std::size_t pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  std::vector<double> out;
+  if (pos == std::string::npos) return out;
+  const char* p = text.c_str() + pos + needle.size();
+  while (*p != '\0' && *p != ']') {
+    char* end = nullptr;
+    out.push_back(std::strtod(p, &end));
+    p = end;
+    while (*p == ',' || *p == ' ') ++p;
+  }
+  return out;
+}
+
+void expect_close(double actual, double golden, const char* what) {
+  const double tol = 1e-6 * std::max(1.0, std::abs(golden));
+  EXPECT_NEAR(actual, golden, tol) << what;
+}
+
+class GoldenTraceSuite : public ::testing::TestWithParam<sim::Preset> {};
+
+TEST_P(GoldenTraceSuite, MatchesCheckedInFixture) {
+  const sim::Preset preset = GetParam();
+  const GoldenTrace t = run_trace(preset);
+
+  if (g_update_golden) {
+    write_golden(preset, t);
+    std::printf("regenerated %s\n", golden_path(preset).c_str());
+    return;
+  }
+
+  std::ifstream in(golden_path(preset));
+  ASSERT_TRUE(in.good())
+      << golden_path(preset)
+      << " missing — run ./test_golden_trace --update-golden";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  EXPECT_EQ(static_cast<std::size_t>(scan_number(text, "seed")), kSeed);
+  EXPECT_EQ(static_cast<std::size_t>(scan_number(text, "rounds")),
+            t.rounds);
+  expect_close(t.duration_s, scan_number(text, "duration_s"), "duration_s");
+  expect_close(t.total_mbps, scan_number(text, "total_mbps"), "total_mbps");
+  expect_close(t.jain, scan_number(text, "jain"), "jain");
+  expect_close(t.joins_per_round, scan_number(text, "joins_per_round"),
+               "joins_per_round");
+  expect_close(t.streams_per_round, scan_number(text, "streams_per_round"),
+               "streams_per_round");
+  const std::vector<double> golden_links = scan_array(text, "per_link_mbps");
+  ASSERT_EQ(golden_links.size(), t.per_link_mbps.size());
+  for (std::size_t i = 0; i < golden_links.size(); ++i) {
+    expect_close(t.per_link_mbps[i], golden_links[i], "per_link_mbps");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, GoldenTraceSuite,
+    ::testing::Values(sim::Preset::kThreePair, sim::Preset::kHiddenTerminal,
+                      sim::Preset::kExposedTerminal,
+                      sim::Preset::kDenseCell),
+    [](const ::testing::TestParamInfo<sim::Preset>& info) {
+      return sim::preset_name(info.param);
+    });
+
+}  // namespace
+}  // namespace nplus
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      nplus::g_update_golden = true;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

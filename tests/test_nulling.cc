@@ -435,6 +435,57 @@ TEST(Admission, DeclinesWhenBackoffKillsOwnLink) {
   EXPECT_LT(d.own_snr_after_db, cfg.min_own_snr_db);
 }
 
+TEST(Admission, ExactlyAtCancellationLimitNeedsNoBackoff) {
+  AdmissionConfig cfg;  // limit 27 dB
+  const auto d = decide_join({27.0}, 20.0, cfg);
+  EXPECT_TRUE(d.join);
+  EXPECT_DOUBLE_EQ(d.power_backoff_db, 0.0);
+  EXPECT_DOUBLE_EQ(d.own_snr_after_db, 20.0);
+}
+
+TEST(Admission, EpsilonAboveLimitBacksOffByExactlyTheExcess) {
+  AdmissionConfig cfg;
+  const auto d = decide_join({27.5}, 20.0, cfg);
+  EXPECT_TRUE(d.join);
+  EXPECT_DOUBLE_EQ(d.power_backoff_db, -0.5);
+  EXPECT_DOUBLE_EQ(d.own_snr_after_db, 19.5);
+}
+
+TEST(Admission, WorstInterfererGovernsTheBackoff) {
+  AdmissionConfig cfg;
+  // 35 dB is the binding constraint, not the count or the order.
+  const auto a = decide_join({30.0, 35.0, 28.0}, 30.0, cfg);
+  const auto b = decide_join({35.0, 28.0, 30.0}, 30.0, cfg);
+  EXPECT_DOUBLE_EQ(a.power_backoff_db, -8.0);
+  EXPECT_DOUBLE_EQ(b.power_backoff_db, -8.0);
+}
+
+TEST(Admission, OwnLinkExactlyAtFloorStillJoins) {
+  AdmissionConfig cfg;  // min_own_snr_db = 4
+  // Backoff of -6 dB leaves the own link at exactly the floor: >= admits.
+  const auto d = decide_join({33.0}, 10.0, cfg);
+  EXPECT_DOUBLE_EQ(d.own_snr_after_db, cfg.min_own_snr_db);
+  EXPECT_TRUE(d.join);
+  // A hair more interference pushes it under and flips the decision.
+  const auto e = decide_join({33.01}, 10.0, cfg);
+  EXPECT_FALSE(e.join);
+}
+
+TEST(Admission, EqualAntennaJoinerBarClaim32) {
+  // Claim 3.2's antenna budget: a joiner can add m = M - K streams, so a
+  // K-antenna joiner facing K ongoing streams is barred outright — the
+  // admission/power-control rule never even gets to weigh in.
+  for (std::size_t m = 1; m <= 4; ++m) {
+    EXPECT_EQ(max_join_streams(m, m), 0u) << m << " antennas";
+    EXPECT_EQ(max_join_streams(m, m - 1), 1u);
+  }
+  // The bar is about the budget, not the link: even a perfect own link
+  // with zero interference cannot conjure a degree of freedom.
+  const auto d = decide_join({}, 60.0);
+  EXPECT_TRUE(d.join);  // power control says yes...
+  EXPECT_EQ(max_join_streams(2, 2), 0u);  // ...the antenna budget says no
+}
+
 TEST(Admission, NoOngoingReceiversIsFree) {
   const auto d = decide_join({}, 10.0);
   EXPECT_TRUE(d.join);

@@ -416,5 +416,72 @@ TEST(Baselines, BeamformingServesBothClientsWhenApWins) {
   EXPECT_GT(both, 12);  // AP wins ~half the rounds, channels often good
 }
 
+// --- Claim 3.2 at the round level ----------------------------------------
+
+namespace {
+
+// Two pairs in a tight square (strong links, strong mutual interference);
+// `joiner_antennas` sets the second pair's antenna count on both ends.
+struct TwoPairSetup {
+  channel::Testbed tb;
+  Scenario sc;
+  std::vector<std::size_t> locs;
+};
+
+TwoPairSetup two_pair_setup(std::size_t joiner_antennas) {
+  TwoPairSetup s{channel::Testbed({{0.0, 0.0},
+                                   {3.0, 0.0},
+                                   {0.0, 3.0},
+                                   {3.0, 3.0}}),
+                 {}, {0, 1, 2, 3}};
+  s.sc.nodes = {{2}, {2}, {joiner_antennas}, {joiner_antennas}};
+  s.sc.links = {{0, 1}, {2, 3}};
+  return s;
+}
+
+}  // namespace
+
+TEST(Round, EqualAntennaJoinerBarredClaim32) {
+  // Claim 3.2: a joiner can add m = M - K streams. When every node has two
+  // antennas and the first winner fills both degrees of freedom, the other
+  // pair is barred in that round — no matter how strong its link is.
+  const TwoPairSetup s = two_pair_setup(2);
+  util::Rng rng(51);
+  const World w(s.tb, s.sc.nodes, s.locs, rng);
+  RoundConfig cfg;
+  std::size_t full_dof_rounds = 0;
+  for (int r = 0; r < 40; ++r) {
+    const RoundResult res = run_nplus_round(w, s.sc, rng, cfg);
+    ASSERT_GE(res.winner_order.size(), 1u);
+    if (res.winner_order.size() == 1 && res.total_streams == 2) {
+      ++full_dof_rounds;
+    }
+    // The bar itself: once 2 streams are on the air, a 2-antenna joiner
+    // can never be the second winner.
+    if (res.winner_order.size() == 2) {
+      EXPECT_LT(res.total_streams, 3u);
+      // And the first winner must have left a degree of freedom unused.
+      EXPECT_EQ(res.links[res.winner_order[0] == 0 ? 0 : 1].streams, 1u);
+    }
+  }
+  // The strong 2x2 links fill both DoF in (nearly) every round.
+  EXPECT_GT(full_dof_rounds, 20u);
+}
+
+TEST(Round, ExtraAntennaLiftsTheBar) {
+  // Same geometry, but the second pair has three antennas: M - K = 1 once
+  // the first winner holds two streams, so joins reappear.
+  const TwoPairSetup s = two_pair_setup(3);
+  util::Rng rng(52);
+  const World w(s.tb, s.sc.nodes, s.locs, rng);
+  RoundConfig cfg;
+  std::size_t joined = 0;
+  for (int r = 0; r < 40; ++r) {
+    const RoundResult res = run_nplus_round(w, s.sc, rng, cfg);
+    if (res.winner_order.size() == 2) ++joined;
+  }
+  EXPECT_GT(joined, 10u);
+}
+
 }  // namespace
 }  // namespace nplus::sim
