@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Scans the given markdown files for inline links/images `[text](target)`
+and verifies that every *relative* target exists on disk (anchors are
+stripped; external http(s)/mailto targets are skipped — CI must not
+depend on the network). Also verifies that inline-code references to
+repo paths of the form `path/to/file.ext` exist, which is how the READMEs
+cite sources.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+Exit status: 0 if everything resolves, 1 otherwise (broken refs listed).
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+# `src/foo/bar.h`-style code references: at least one slash, a file
+# extension, and no spaces/wildcards/placeholders.
+CODE_REF_RE = re.compile(r"`([A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-]+)+\.[A-Za-z0-9]{1,4})`")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(md_path: str) -> list[str]:
+    base = os.path.dirname(os.path.abspath(md_path))
+    repo_root = os.getcwd()
+    broken = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+
+    targets = [(m.group(1), "link") for m in LINK_RE.finditer(text)]
+    targets += [(m.group(1), "code-ref") for m in CODE_REF_RE.finditer(text)]
+
+    for target, kind in targets:
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        # Benches/tests cite build outputs that exist only after a build;
+        # generated artifacts are not doc rot.
+        name = os.path.basename(path)
+        if name.startswith("BENCH_") or path.startswith("build/"):
+            continue
+        # Resolve relative to the markdown file, falling back to repo root
+        # (READMEs cite repo-rooted paths like src/phy/mcs.h).
+        if not (
+            os.path.exists(os.path.join(base, path))
+            or os.path.exists(os.path.join(repo_root, path))
+        ):
+            broken.append(f"{md_path}: {kind} -> {target}")
+    return broken
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    broken = []
+    for md in sys.argv[1:]:
+        if not os.path.exists(md):
+            broken.append(f"{md}: file itself is missing")
+            continue
+        broken += check_file(md)
+    if broken:
+        print("broken documentation references:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"ok: {len(sys.argv) - 1} files, all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

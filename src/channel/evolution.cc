@@ -1,0 +1,50 @@
+#include "channel/evolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace nplus::channel {
+
+double doppler_hz(double v_mps, double carrier_hz) {
+  constexpr double kC = 299792458.0;
+  return std::max(v_mps, 0.0) * carrier_hz / kC;
+}
+
+namespace {
+
+// J0 for |x| <= 3 via the Abramowitz & Stegun 9.4.1 polynomial (error
+// < 5e-8). Implemented locally rather than via std::cyl_bessel_j because
+// libc++ ships no special math functions (the <cmath> ones are a
+// libstdc++ extension of C++17's special-functions TR), and a local
+// polynomial is bit-identical on every platform — the same reason the
+// repo carries its own PCG instead of std:: distributions.
+double bessel_j0_small(double x) {
+  const double t = (x / 3.0) * (x / 3.0);
+  return 1.0 +
+         t * (-2.2499997 +
+              t * (1.2656208 +
+                   t * (-0.3163866 +
+                        t * (0.0444479 +
+                             t * (-0.0039444 + t * 0.0002100)))));
+}
+
+}  // namespace
+
+double doppler_rho(double fd_hz, double dt_s) {
+  if (fd_hz <= 0.0 || dt_s <= 0.0) return 1.0;
+  const double x = 2.0 * std::numbers::pi * fd_hz * dt_s;
+  // J0's first zero is at x ~ 2.405; past it the AR(1) fit saturates at
+  // full decorrelation rather than chasing the (small, oscillating) tail.
+  // This also keeps the polynomial inside its |x| <= 3 validity range.
+  constexpr double kFirstZero = 2.404825557695773;
+  if (x >= kFirstZero) return 0.0;
+  return std::clamp(bessel_j0_small(x), 0.0, 1.0);
+}
+
+double shadow_rho(double moved_m, double decorr_m) {
+  if (moved_m <= 0.0 || decorr_m <= 0.0) return 1.0;
+  return std::exp(-moved_m / decorr_m);
+}
+
+}  // namespace nplus::channel

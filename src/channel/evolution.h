@@ -1,0 +1,58 @@
+// Temporally correlated channel evolution (the "dynamic network" kernel).
+//
+// The protocol's nulling/alignment precoders are computed from CSI measured
+// in the past — a handshake, an overheard ACK — and applied to the channel
+// as it is *now*. How fast those two diverge is governed by the Doppler
+// spread of the link, so this header maps physical motion onto the two
+// correlation coefficients the simulator consumes:
+//
+//  * Small-scale fading: each scattered tap evolves as a first-order
+//    Gauss-Markov process, h' = rho*h + sqrt(1-rho^2)*w with w drawn at the
+//    tap's marginal power (see MimoChannel::evolve). The per-step rho is
+//    matched to the Jakes/Clarke model at lag dt: rho = J0(2*pi*f_d*dt),
+//    clamped to [0, 1] (beyond the first Bessel zero the channel is simply
+//    decorrelated). This is the standard AR(1) approximation of the Jakes
+//    spectrum: it reproduces the coherence time exactly and the
+//    autocorrelation shape to first order, at one complex draw per tap per
+//    step.
+//  * Large-scale shadowing: lognormal shadowing decorrelates with *distance
+//    traveled*, not time (Gudmundson's model): rho_s = exp(-d_moved/d_corr).
+//    World::advance integrates this as an anchored AR(1) process in dB: the
+//    pair's realized materialization draw decays geometrically with each
+//    step while matched innovation replaces it, so total shadowing variance
+//    stays exactly at the path-loss model's sigma^2 and the correlation with
+//    the original draw decays to zero. This is layered on top of the
+//    deterministic median-path-loss change from the new node distance.
+//
+// Everything here is pure math over caller-supplied parameters; the state
+// (taps, shadowing offsets) lives in MimoChannel and sim::World.
+#pragma once
+
+namespace nplus::channel {
+
+struct EvolutionConfig {
+  // Carrier frequency used to convert node speed into Doppler (f_d = v /
+  // lambda). 2.4 GHz matches the paper's USRP2 + RFX2400 testbed.
+  double carrier_hz = 2.4e9;
+  // Doppler floor applied to every link even when both endpoints are
+  // static: people and doors move in an office, so measured coherence
+  // times are finite (~100 ms-1 s) even for fixed nodes. 0 disables.
+  double env_doppler_hz = 0.0;
+  // Gudmundson shadowing decorrelation distance (indoor ~ 5-20 m).
+  double shadow_decorr_m = 10.0;
+};
+
+// Doppler frequency (Hz) of a scatterer moving at v_mps relative to a
+// carrier_hz carrier: v / lambda = v * f_c / c.
+double doppler_hz(double v_mps, double carrier_hz);
+
+// Jakes-matched one-step Gauss-Markov coefficient at lag dt_s for Doppler
+// fd_hz: max(0, J0(2*pi*fd*dt)). Returns 1 when fd or dt is zero (a static
+// channel never moves, and never consumes innovation draws).
+double doppler_rho(double fd_hz, double dt_s);
+
+// Gudmundson shadowing correlation after the link endpoints traveled a
+// combined moved_m meters: exp(-moved/decorr). Returns 1 for moved == 0.
+double shadow_rho(double moved_m, double decorr_m);
+
+}  // namespace nplus::channel

@@ -25,6 +25,14 @@ MimoChannel::MimoChannel(std::size_t n_rx, std::size_t n_tx,
   const double k_lin =
       profile.line_of_sight ? util::from_db(profile.rician_k_db) : 0.0;
 
+  // Remember the marginal statistics for evolve(): the scattered power per
+  // tap, and (Rician links) the fixed LoS component per antenna pair.
+  scatter_power_ = tap_power;
+  if (profile.line_of_sight) {
+    scatter_power_[0] = tap_power[0] / (k_lin + 1.0);
+    los_tap0_.assign(n_rx, std::vector<cdouble>(n_tx, cdouble{0.0, 0.0}));
+  }
+
   taps_.resize(n_rx);
   for (std::size_t r = 0; r < n_rx; ++r) {
     taps_[r].resize(n_tx);
@@ -36,7 +44,13 @@ MimoChannel::MimoChannel(std::size_t n_rx, std::size_t n_tx,
           // antenna pair, as geometry dictates) + scattered component.
           const double p_los = tap_power[0] * k_lin / (k_lin + 1.0);
           const double p_nlos = tap_power[0] / (k_lin + 1.0);
-          h[l] = std::sqrt(p_los) * rng.phase() + rng.cgaussian(p_nlos);
+          // Draw order (scattered part first, then the LoS phase) matches
+          // the original right-to-left evaluation of the one-expression
+          // form — golden traces pin the stream.
+          const cdouble scattered = rng.cgaussian(p_nlos);
+          const cdouble los = std::sqrt(p_los) * rng.phase();
+          los_tap0_[r][t] = los;
+          h[l] = los + scattered;
         } else {
           h[l] = rng.cgaussian(tap_power[l]);
         }
@@ -113,6 +127,41 @@ MimoChannel MimoChannel::reverse(double calibration_error_std,
     }
   }
   return MimoChannel(std::move(rev));
+}
+
+void MimoChannel::evolve(double rho, util::Rng& rng) {
+  assert(can_evolve());
+  if (rho >= 1.0) return;
+  rho = std::max(rho, 0.0);
+  const double innov = 1.0 - rho * rho;
+  for (std::size_t r = 0; r < n_rx(); ++r) {
+    for (std::size_t t = 0; t < n_tx(); ++t) {
+      Samples& h = taps_[r][t];
+      for (std::size_t l = 0; l < h.size(); ++l) {
+        const cdouble los = (l == 0 && !los_tap0_.empty())
+                                ? los_tap0_[r][t]
+                                : cdouble{0.0, 0.0};
+        const cdouble scattered = h[l] - los;
+        h[l] = los + rho * scattered +
+               rng.cgaussian(innov * scatter_power_[l]);
+      }
+    }
+  }
+}
+
+void MimoChannel::scale_gain(double factor) {
+  assert(factor > 0.0);
+  if (factor == 1.0) return;
+  const double amp = std::sqrt(factor);
+  for (auto& row : taps_) {
+    for (auto& pair : row) {
+      for (auto& tap : pair) tap *= amp;
+    }
+  }
+  for (auto& row : los_tap0_) {
+    for (auto& los : row) los *= amp;
+  }
+  for (auto& p : scatter_power_) p *= factor;
 }
 
 double MimoChannel::mean_gain() const {

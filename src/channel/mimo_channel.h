@@ -70,8 +70,35 @@ class MimoChannel {
 
   const std::vector<std::vector<Samples>>& taps() const { return taps_; }
 
+  // --- Temporal evolution (see channel/evolution.h) ----------------------
+
+  // True for channels drawn by the random constructor, which remembers each
+  // tap's marginal scattered power (and the fixed LoS component, if any) —
+  // the statistics evolve() needs. Channels assembled from explicit taps
+  // (e.g. reverse()) cannot evolve; re-derive them from the evolved forward
+  // channel instead.
+  bool can_evolve() const { return !scatter_power_.empty(); }
+
+  // One Gauss-Markov step: every scattered tap moves to
+  //   s' = rho * s + w,  w ~ CN(0, (1 - rho^2) * p_tap),
+  // where p_tap is the tap's marginal scattered power, so the channel's
+  // distribution (Rayleigh/Rician mix, power-delay profile, total gain) is
+  // invariant under evolution while samples decorrelate at rate rho. The
+  // deterministic LoS component of a Rician first tap is held fixed — the
+  // direct path's geometry changes on path-loss scales, not fading scales.
+  // rho >= 1 is a no-op and consumes no draws. Asserts can_evolve().
+  void evolve(double rho, util::Rng& rng);
+
+  // Rescales the channel's total mean power by `factor` (linear): taps and
+  // the LoS component by sqrt(factor), marginal powers by factor. Used by
+  // sim::World when motion changes a pair's path loss / shadowing.
+  void scale_gain(double factor);
+
  private:
   std::vector<std::vector<Samples>> taps_;  // [rx][tx][tap]
+  // Evolution statistics, filled by the random constructor only.
+  std::vector<double> scatter_power_;       // marginal scattered power per tap
+  std::vector<std::vector<cdouble>> los_tap0_;  // [rx][tx]; empty = NLoS
 };
 
 }  // namespace nplus::channel

@@ -29,6 +29,9 @@ class Testbed {
 
   std::size_t n_locations() const { return locations_.size(); }
   const Location& location(std::size_t i) const { return locations_[i]; }
+  // Moves location i (the dynamic-network engine advances node positions
+  // between rounds; sim::World::advance is the only caller).
+  void move_location(std::size_t i, const Location& l) { locations_[i] = l; }
   const PathLossModel& path_loss() const { return pl_; }
   const LinkBudget& budget() const { return budget_; }
 

@@ -1,0 +1,75 @@
+#include "phy/rate_control.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "phy/mcs.h"
+
+namespace nplus::phy {
+
+namespace {
+
+int clamp_mcs(int idx) {
+  const int top = static_cast<int>(mcs_table().size()) - 1;
+  return std::clamp(idx, 0, top);
+}
+
+}  // namespace
+
+RateController::RateController(const RateControlConfig& config)
+    : cfg_(config) {
+  cfg_.initial_mcs = clamp_mcs(cfg_.initial_mcs);
+  cfg_.up_after = std::max(cfg_.up_after, 1);
+  cfg_.max_up_after = std::max(cfg_.max_up_after, cfg_.up_after);
+  cfg_.down_after = std::max(cfg_.down_after, 1);
+}
+
+RateController::LinkState& RateController::state(std::size_t link) {
+  if (link >= links_.size()) {
+    LinkState fresh;
+    fresh.mcs = cfg_.initial_mcs;
+    fresh.up_after = cfg_.up_after;
+    links_.resize(link + 1, fresh);
+  }
+  return links_[link];
+}
+
+int RateController::select(std::size_t link) { return state(link).mcs; }
+
+int RateController::current_mcs(std::size_t link) const {
+  return link < links_.size() ? links_[link].mcs : cfg_.initial_mcs;
+}
+
+void RateController::observe(std::size_t link, bool delivered) {
+  LinkState& s = state(link);
+  const int top = static_cast<int>(mcs_table().size()) - 1;
+  if (delivered) {
+    s.failure_streak = 0;
+    s.probing = false;  // the probed rate survived its trial codeword
+    ++s.success_streak;
+    if (s.success_streak >= s.up_after && s.mcs < top) {
+      ++s.mcs;
+      s.success_streak = 0;
+      s.probing = true;
+    }
+  } else {
+    s.success_streak = 0;
+    if (s.probing) {
+      // The very first codeword at the probed rate failed: revert and make
+      // the next probe twice as patient (AARF's oscillation damper).
+      s.probing = false;
+      s.mcs = clamp_mcs(s.mcs - 1);
+      s.up_after = std::min(s.up_after * 2, cfg_.max_up_after);
+      s.failure_streak = 0;
+      return;
+    }
+    ++s.failure_streak;
+    if (s.failure_streak >= cfg_.down_after) {
+      s.mcs = clamp_mcs(s.mcs - 1);
+      s.failure_streak = 0;
+      s.up_after = cfg_.up_after;  // conditions changed; probe eagerly again
+    }
+  }
+}
+
+}  // namespace nplus::phy

@@ -1,0 +1,72 @@
+// History-driven MCS adaptation (AARF) for dynamic networks.
+//
+// The round builder's default rate selection is an oracle: it computes the
+// post-projection effective SNR of the link *as it is right now* and picks
+// the best MCS (§3.4). That is faithful to the paper's quasi-static
+// experiments, but in a dynamic network no transmitter knows its current
+// eSNR — it only knows which of its past codewords were ACKed. This
+// controller implements that realistic feedback loop: Adaptive Auto Rate
+// Fallback (Lacage et al.), the standard history-driven policy 802.11
+// drivers ship.
+//
+// Per-link state machine:
+//  * `up_after` consecutive delivered codewords  -> probe one MCS up.
+//  * A loss on the first codeword after a probe  -> revert immediately and
+//    double `up_after` (capped), so a link hovering below a rate boundary
+//    stops oscillating (the "adaptive" part of AARF).
+//  * `down_after` consecutive losses             -> step one MCS down and
+//    reset the probe threshold.
+//
+// Ownership/threading: one controller per session (it holds per-link
+// state); sim::run_session wires it into RoundConfig::rate_control and
+// feeds observe() from each round's delivery outcomes. Not thread-safe —
+// parallel sweeps give each session its own controller, exactly like each
+// session owns its World.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nplus::phy {
+
+struct RateControlConfig {
+  int initial_mcs = 2;    // QPSK 1/2: a safe mid-table starting rate
+  int up_after = 8;       // successes before probing one rate up
+  int max_up_after = 64;  // AARF cap for the doubled probe threshold
+  int down_after = 2;     // consecutive losses before stepping down
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateControlConfig& config = {});
+
+  // MCS index link `link` should transmit at, in [0, 7]. Creates the
+  // link's state on first use (links are discovered lazily so the
+  // controller works for any scenario size and for churned-in flows).
+  int select(std::size_t link);
+
+  // Feeds one codeword outcome for `link`. The session calls this once per
+  // round per transmitting link with the round's realized delivery verdict
+  // (kAbstracted: expected PER < 0.5; kFullPhy: majority of the link's
+  // stream CRCs passed).
+  void observe(std::size_t link, bool delivered);
+
+  // Introspection for tests / benches.
+  int current_mcs(std::size_t link) const;
+  std::size_t n_links_seen() const { return links_.size(); }
+
+ private:
+  struct LinkState {
+    int mcs = 0;
+    int success_streak = 0;
+    int failure_streak = 0;
+    int up_after = 0;       // current (possibly doubled) probe threshold
+    bool probing = false;   // the next codeword is the post-probe trial
+  };
+  LinkState& state(std::size_t link);
+
+  RateControlConfig cfg_;
+  std::vector<LinkState> links_;
+};
+
+}  // namespace nplus::phy

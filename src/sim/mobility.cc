@@ -1,0 +1,147 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nplus::sim {
+
+Mobility::Mobility(std::vector<channel::Location> initial,
+                   const MobilityConfig& cfg, util::Rng& rng)
+    : cfg_(cfg), pos_(std::move(initial)) {
+  speed_.assign(pos_.size(), 0.0);
+  state_.assign(pos_.size(), NodeState{});
+  if (!cfg_.moves()) return;
+
+  // Roam box: explicit area, or the initial bounding box plus a margin.
+  if (cfg_.area_w_m > 0.0 && cfg_.area_h_m > 0.0) {
+    x_lo_ = 0.0;
+    x_hi_ = cfg_.area_w_m;
+    y_lo_ = 0.0;
+    y_hi_ = cfg_.area_h_m;
+  } else {
+    x_lo_ = y_lo_ = 1e300;
+    x_hi_ = y_hi_ = -1e300;
+    for (const auto& p : pos_) {
+      x_lo_ = std::min(x_lo_, p.x_m);
+      x_hi_ = std::max(x_hi_, p.x_m);
+      y_lo_ = std::min(y_lo_, p.y_m);
+      y_hi_ = std::max(y_hi_, p.y_m);
+    }
+    x_lo_ -= cfg_.area_margin_m;
+    x_hi_ += cfg_.area_margin_m;
+    y_lo_ -= cfg_.area_margin_m;
+    y_hi_ += cfg_.area_margin_m;
+  }
+  if (x_hi_ - x_lo_ <= 1e-9 && y_hi_ - y_lo_ <= 1e-9) {
+    // Degenerate roam box (co-located placement, zero margin): nowhere to
+    // go — leave every node immobile instead of spinning on zero-length
+    // legs in advance().
+    return;
+  }
+
+  if (cfg_.model == MobilityModel::kClusteredHotspot) {
+    const std::size_t k = std::max<std::size_t>(1, cfg_.n_hotspots);
+    hotspots_.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      hotspots_.push_back(
+          {rng.uniform(x_lo_, x_hi_), rng.uniform(y_lo_, y_hi_)});
+    }
+  }
+
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    NodeState& s = state_[i];
+    s.mobile = rng.bernoulli(cfg_.mobile_fraction);
+    if (!s.mobile) continue;
+    if (cfg_.model == MobilityModel::kClusteredHotspot) {
+      s.hotspot =
+          rng.uniform_int(static_cast<std::uint32_t>(hotspots_.size()));
+      s.dwell_left_s = rng.exponential(cfg_.hotspot_dwell_s);
+    }
+    draw_waypoint(s, rng);
+  }
+}
+
+void Mobility::draw_waypoint(NodeState& s, util::Rng& rng) const {
+  if (cfg_.model == MobilityModel::kClusteredHotspot) {
+    const channel::Location& h = hotspots_[s.hotspot];
+    s.target_x = std::clamp(rng.gaussian(h.x_m, cfg_.hotspot_std_m), x_lo_,
+                            x_hi_);
+    s.target_y = std::clamp(rng.gaussian(h.y_m, cfg_.hotspot_std_m), y_lo_,
+                            y_hi_);
+  } else {
+    s.target_x = rng.uniform(x_lo_, x_hi_);
+    s.target_y = rng.uniform(y_lo_, y_hi_);
+  }
+  s.leg_speed = rng.uniform(cfg_.speed_min_mps, cfg_.speed_max_mps);
+  s.leg_speed = std::max(s.leg_speed, 1e-6);
+}
+
+void Mobility::advance(double dt_s, util::Rng& rng) {
+  if (!cfg_.moves() || dt_s <= 0.0) {
+    std::fill(speed_.begin(), speed_.end(), 0.0);
+    return;
+  }
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    NodeState& s = state_[i];
+    if (!s.mobile) {
+      speed_[i] = 0.0;
+      continue;
+    }
+    const channel::Location start = pos_[i];
+    if (cfg_.model == MobilityModel::kClusteredHotspot &&
+        hotspots_.size() > 1) {
+      s.dwell_left_s -= dt_s;
+      if (s.dwell_left_s <= 0.0) {
+        // Re-home: the node's next waypoints gather around a new hotspot.
+        s.hotspot =
+            rng.uniform_int(static_cast<std::uint32_t>(hotspots_.size()));
+        s.dwell_left_s = rng.exponential(cfg_.hotspot_dwell_s);
+      }
+    }
+    double remaining = dt_s;
+    // Walk legs/pauses until the step is used up. Bounded: every loop
+    // iteration either drains `remaining` or completes a leg of strictly
+    // positive expected length.
+    int guard = 0;
+    while (remaining > 0.0 && ++guard < 10000) {
+      if (s.pause_left_s > 0.0) {
+        const double used = std::min(s.pause_left_s, remaining);
+        s.pause_left_s -= used;
+        remaining -= used;
+        continue;
+      }
+      const double dx = s.target_x - pos_[i].x_m;
+      const double dy = s.target_y - pos_[i].y_m;
+      const double dist = std::hypot(dx, dy);
+      const double reach = s.leg_speed * remaining;
+      if (dist <= 1e-12 && s.pause_left_s <= 0.0 && cfg_.pause_s <= 0.0) {
+        // Zero-length leg with no pause to consume time: redraw once via
+        // the arrival path below, but if the next waypoint is zero-length
+        // too (measure-zero in a real box), stop instead of spinning.
+        draw_waypoint(s, rng);
+        if (std::hypot(s.target_x - pos_[i].x_m,
+                       s.target_y - pos_[i].y_m) <= 1e-12) {
+          break;
+        }
+        continue;
+      }
+      if (reach < dist) {
+        pos_[i].x_m += dx / dist * reach;
+        pos_[i].y_m += dy / dist * reach;
+        remaining = 0.0;
+      } else {
+        pos_[i].x_m = s.target_x;
+        pos_[i].y_m = s.target_y;
+        remaining -= dist / s.leg_speed;
+        s.pause_left_s =
+            cfg_.pause_s > 0.0 ? rng.exponential(cfg_.pause_s) : 0.0;
+        draw_waypoint(s, rng);
+      }
+    }
+    speed_[i] =
+        std::hypot(pos_[i].x_m - start.x_m, pos_[i].y_m - start.y_m) / dt_s;
+  }
+}
+
+}  // namespace nplus::sim

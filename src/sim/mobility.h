@@ -1,0 +1,111 @@
+// Node mobility over the scenario engine's continuous floor.
+//
+// PR 3's ScenarioGen draws one placement and PR 4's fidelity engine scores
+// it frozen in time; this subsystem makes the placement *move*. A Mobility
+// instance owns every node's kinematic state and advances it in
+// variable-size time steps (sessions call advance() with each round's
+// airtime), producing the two quantities the channel layer consumes: new
+// positions (path loss / shadowing drift, see World::advance) and realized
+// per-node speeds over the step (Doppler, see channel/evolution.h).
+//
+// Models:
+//  * kStatic          — nothing moves; advance() is a no-op that consumes
+//                       no RNG draws (the dynamics-off identity path).
+//  * kRandomWaypoint  — the classic RWP: pick a uniform waypoint in the
+//                       area, walk to it at a uniform-drawn speed, pause
+//                       (exponential), repeat.
+//  * kClusteredHotspot— RWP whose waypoints are Gaussian around a "home"
+//                       hotspot (conference room, desk cluster); each node
+//                       re-homes to a random hotspot after an exponential
+//                       dwell, reproducing crowd migration between rooms.
+//
+// Determinism contract: all randomness flows through the caller-supplied
+// util::Rng (constructor and advance()), so a session that forks one
+// dynamics stream replays the identical trajectory on any thread count.
+// Speeds reported by speed_mps() are *realized* displacement/dt for the
+// last step — a node that spent half the step paused gets the correct
+// effective Doppler, not its nominal walking speed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/testbed.h"
+#include "util/rng.h"
+
+namespace nplus::sim {
+
+enum class MobilityModel {
+  kStatic,
+  kRandomWaypoint,
+  kClusteredHotspot,
+};
+
+struct MobilityConfig {
+  MobilityModel model = MobilityModel::kStatic;
+  // Per-leg walking speed, uniform in [min, max] (defaults: pedestrian).
+  double speed_min_mps = 0.3;
+  double speed_max_mps = 1.5;
+  // Mean pause at each waypoint (exponential; 0 = no pausing).
+  double pause_s = 2.0;
+  // Fraction of nodes that move at all, drawn Bernoulli per node at
+  // construction. NOTE: the draw is role-blind — it models "some radios
+  // are infrastructure-like", but it does not know which nodes actually
+  // are APs; pin specific nodes by setting mobile_fraction = 1 and
+  // post-filtering is not supported yet.
+  double mobile_fraction = 1.0;
+  // Roaming area. 0 = derive from the initial placement's bounding box
+  // plus `area_margin_m` on each side.
+  double area_w_m = 0.0;
+  double area_h_m = 0.0;
+  double area_margin_m = 2.0;
+  // kClusteredHotspot parameters.
+  std::size_t n_hotspots = 4;
+  double hotspot_std_m = 2.5;
+  double hotspot_dwell_s = 30.0;  // mean dwell before re-homing
+
+  bool moves() const {
+    return model != MobilityModel::kStatic && speed_max_mps > 0.0 &&
+           mobile_fraction > 0.0;
+  }
+};
+
+class Mobility {
+ public:
+  // Captures the initial positions (typically World::node_position for
+  // every node) and draws each node's mobility flag, first waypoint/speed,
+  // and (hotspot model) home hotspot from `rng`. kStatic draws nothing.
+  Mobility(std::vector<channel::Location> initial, const MobilityConfig& cfg,
+           util::Rng& rng);
+
+  // Advances every node by dt_s, drawing waypoints/pauses from `rng` as
+  // legs complete. After the call, positions() holds the new placement and
+  // speed_mps() the realized per-node speed over this step.
+  void advance(double dt_s, util::Rng& rng);
+
+  std::size_t n_nodes() const { return pos_.size(); }
+  const std::vector<channel::Location>& positions() const { return pos_; }
+  const std::vector<double>& speed_mps() const { return speed_; }
+  bool mobile(std::size_t node) const { return state_[node].mobile; }
+
+ private:
+  struct NodeState {
+    bool mobile = false;
+    double target_x = 0.0, target_y = 0.0;  // current waypoint
+    double leg_speed = 0.0;                 // nominal speed toward it
+    double pause_left_s = 0.0;
+    std::size_t hotspot = 0;
+    double dwell_left_s = 0.0;
+  };
+
+  void draw_waypoint(NodeState& s, util::Rng& rng) const;
+
+  MobilityConfig cfg_;
+  double x_lo_ = 0.0, x_hi_ = 0.0, y_lo_ = 0.0, y_hi_ = 0.0;  // roam box
+  std::vector<channel::Location> hotspots_;
+  std::vector<channel::Location> pos_;
+  std::vector<double> speed_;
+  std::vector<NodeState> state_;
+};
+
+}  // namespace nplus::sim

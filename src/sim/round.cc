@@ -69,12 +69,47 @@ struct ActiveGroup {
 class RoundBuilder {
  public:
   RoundBuilder(const World& world, const Scenario& scenario, util::Rng& rng,
-               const RoundConfig& config)
-      : w_(world), sc_(scenario), rng_(rng), cfg_(config) {}
+               const RoundConfig& config,
+               const std::vector<std::uint8_t>* active_links)
+      : w_(world), sc_(scenario), rng_(rng), cfg_(config),
+        active_(active_links) {}
 
   RoundResult run();
 
  private:
+  // Churn mask: a link whose entry is zero has no traffic this round (flow
+  // departed or an endpoint left). nullptr = everything active.
+  bool link_active(std::size_t li) const {
+    return active_ == nullptr || (*active_)[li] != 0;
+  }
+  std::vector<std::size_t> active_links_of(std::size_t tx) const {
+    std::vector<std::size_t> out = sc_.links_of(tx);
+    if (active_ == nullptr) return out;  // static path: no filtering work
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](std::size_t li) {
+                               return !link_active(li);
+                             }),
+              out.end());
+    return out;
+  }
+  // Transmitters with at least one active link: Scenario::transmitters()
+  // filtered, so the contention population keeps its order (and the
+  // no-mask path reproduces it exactly, draw for draw).
+  std::vector<std::size_t> active_transmitters() const {
+    std::vector<std::size_t> out = sc_.transmitters();
+    if (active_ == nullptr) return out;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](std::size_t tx) {
+                               const auto links = sc_.links_of(tx);
+                               return std::none_of(
+                                   links.begin(), links.end(),
+                                   [&](std::size_t li) {
+                                     return link_active(li);
+                                   });
+                             }),
+              out.end());
+    return out;
+  }
   // True effective channel of group g at node x on subcarrier s, including
   // the per-stream amplitude (N_x x m).
   const std::vector<CMat>& eff_true(std::size_t g, std::size_t node);
@@ -99,6 +134,7 @@ class RoundBuilder {
   const Scenario& sc_;
   util::Rng& rng_;
   const RoundConfig& cfg_;
+  const std::vector<std::uint8_t>* active_ = nullptr;
   // Dedicated stream for kFullPhy payload/noise draws, forked from rng_ at
   // round start in BOTH fidelity modes: the protocol path consumes rng_
   // identically whichever mode runs, so a (world, scenario, seed) triple
@@ -164,7 +200,7 @@ bool RoundBuilder::admission_ok(std::size_t tx,
       interference_snr_db.push_back(w_.link_snr_db(tx, l.rx_node));
     }
   }
-  for (std::size_t li : sc_.links_of(tx)) {
+  for (std::size_t li : active_links_of(tx)) {
     own_snr_db = std::max(own_snr_db,
                           w_.link_snr_db(tx, sc_.links[li].rx_node));
   }
@@ -204,7 +240,7 @@ bool RoundBuilder::try_join_with(std::size_t tx, std::size_t m_target) {
   // Allocate streams across this transmitter's links, capped by each
   // receiver's ability to decode in the presence of the existing DoF.
   std::vector<ActiveLink> links;
-  for (std::size_t li : sc_.links_of(tx)) {
+  for (std::size_t li : active_links_of(tx)) {
     const std::size_t n_rx = w_.antennas(sc_.links[li].rx_node);
     if (n_rx <= used_dof_) continue;
     ActiveLink l;
@@ -359,6 +395,17 @@ bool RoundBuilder::try_join_with(std::size_t tx, std::size_t m_target) {
       obs.noise_power = w_.noise_power();
       const std::vector<double> sinr = zf_stream_sinr(obs);
       sinrs.insert(sinrs.end(), sinr.begin(), sinr.end());
+    }
+    if (cfg_.rate_control != nullptr) {
+      // History-driven adaptation: the transmitter uses its AARF state, not
+      // the oracle eSNR — it has no way to measure the post-projection SNR
+      // it is about to get. The eSNR is still recorded for diagnostics.
+      l.mcs = cfg_.rate_control->select(l.link_idx);
+      l.esnr_db = util::to_db(std::max(
+          phy::effective_snr(sinrs,
+                             phy::mcs_by_index(l.mcs).modulation),
+          1e-30));
+      continue;
     }
     const Mcs* mcs = phy::select_mcs_esnr(sinrs, cfg_.rate_margin_db);
     if (mcs != nullptr) {
@@ -537,8 +584,8 @@ RoundResult RoundBuilder::run() {
   RoundResult result;
   phy_rng_ = rng_.fork(0xF1DE11);
 
-  // Candidate transmitters in contention.
-  std::vector<std::size_t> pending = sc_.transmitters();
+  // Candidate transmitters in contention (churned-out links don't show up).
+  std::vector<std::size_t> pending = active_transmitters();
   if (!cfg_.dcf_contention) rng_.shuffle(pending);
 
   while (!pending.empty()) {
@@ -594,8 +641,9 @@ RoundResult RoundBuilder::run() {
 }  // namespace
 
 RoundResult run_nplus_round(const World& world, const Scenario& scenario,
-                            util::Rng& rng, const RoundConfig& config) {
-  return RoundBuilder(world, scenario, rng, config).run();
+                            util::Rng& rng, const RoundConfig& config,
+                            const std::vector<std::uint8_t>* active_links) {
+  return RoundBuilder(world, scenario, rng, config, active_links).run();
 }
 
 IsolatedTxResult evaluate_isolated_tx(const World& world,

@@ -21,6 +21,7 @@
 #include "mac/contention.h"
 #include "nulling/admission.h"
 #include "phy/link_abstraction.h"
+#include "phy/rate_control.h"
 #include "sim/rx_math.h"
 #include "sim/world.h"
 
@@ -87,6 +88,13 @@ struct RoundConfig {
   // PER table for kAbstracted; nullptr = LinkAbstraction::calibrated()
   // (the checked-in offline calibration). Tests inject custom tables here.
   const phy::LinkAbstraction* link_abstraction = nullptr;
+  // History-driven MCS adaptation (AARF): when set, links transmit at the
+  // controller's per-link rate instead of the oracle eSNR pick — the
+  // realistic policy for dynamic networks, where no transmitter knows its
+  // current post-projection SNR. The caller (a session) owns the
+  // controller, feeds it delivery outcomes after each round, and keeps it
+  // alive across rounds; nullptr = oracle selection (the paper's §3.4).
+  phy::RateController* rate_control = nullptr;
 };
 
 struct LinkOutcome {
@@ -107,9 +115,15 @@ struct RoundResult {
   std::vector<LinkOutcome> links;         // indexed like Scenario::links
 };
 
-// Runs one full n+ round.
+// Runs one full n+ round. `active_links` (optional; indexed like
+// Scenario::links) restricts the round to links whose entry is non-zero —
+// the session-churn hook: flows that departed and nodes that left simply
+// stop appearing in contention. nullptr (or all-non-zero) reproduces the
+// unrestricted round exactly, RNG draw for RNG draw.
 RoundResult run_nplus_round(const World& world, const Scenario& scenario,
-                            util::Rng& rng, const RoundConfig& config);
+                            util::Rng& rng, const RoundConfig& config,
+                            const std::vector<std::uint8_t>* active_links =
+                                nullptr);
 
 // --- Shared helper for the baselines -----------------------------------
 //

@@ -240,7 +240,10 @@ std::vector<SessionResult> run_generated_sessions(
         util::Rng session_rng = rng.fork(3);
         const GeneratedTopology topo =
             generate_topology(items[i].gen, gen_rng);
-        const World world = make_world(topo, world_rng, items[i].world);
+        // Mutable: items whose session.dynamics is active advance the
+        // world between rounds (each item owns its world, so this stays
+        // thread-safe and bit-identical across pool sizes).
+        World world = make_world(topo, world_rng, items[i].world);
         results[i] =
             run_session(world, topo.scenario, session_rng, items[i].session);
       });

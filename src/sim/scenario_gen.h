@@ -121,7 +121,9 @@ World make_world(const GeneratedTopology& topo, util::Rng& rng,
 // Item i draws all its randomness from streams forked off Rng(seed) before
 // dispatch (topology fork(1), world fork(2), session fork(3) of the item's
 // own fork(i + 1)), and results are written by index — bit-identical for
-// every thread count.
+// every thread count. Items may set session.dynamics (mobility, Doppler
+// channel evolution, churn, adaptive rates): each item owns its world, so
+// dynamic sessions keep the same determinism contract.
 struct SweepItem {
   GenConfig gen;
   SessionConfig session{};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "mac/event_sim.h"
 
@@ -18,8 +19,58 @@ double jain_index(const std::vector<double>& xs) {
   return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
 }
 
+namespace {
+
+// Draw-free scaffolding shared by the static and dynamic session paths
+// (it touches no RNG, so sharing it cannot perturb either path's trace).
+
+// Cumulative snapshot at sim time t, appended to out.series.
+void take_snapshot(SessionResult& out, const std::vector<double>& link_bits,
+                   const util::RunningStats& winners_per_round, double t) {
+  SessionSnapshot s;
+  s.t_s = t;
+  s.rounds = out.rounds;
+  double bits = 0.0;
+  for (double v : link_bits) bits += v;
+  s.total_mbps = t > 0.0 ? bits / t / 1e6 : 0.0;
+  std::vector<double> rates(link_bits.size());
+  for (std::size_t l = 0; l < link_bits.size(); ++l) {
+    rates[l] = t > 0.0 ? link_bits[l] / t / 1e6 : 0.0;
+  }
+  s.jain = jain_index(rates);
+  s.join_rate = winners_per_round.mean();
+  out.series.push_back(s);
+}
+
+// Final accounting. Session duration: the horizon if one was set (the
+// EventSim advanced its clock to it), otherwise the end of the last
+// round's airtime — the sim clock alone stops at the last round's *start*
+// event.
+void finalize_session(SessionResult& out,
+                      const std::vector<double>& link_bits,
+                      const util::RunningStats& winners_per_round,
+                      const util::RunningStats& streams_per_round,
+                      double clock_s, double busy_end_s) {
+  out.duration_s = std::max(clock_s, busy_end_s);
+  if (out.duration_s > 0.0) {
+    double bits = 0.0;
+    for (std::size_t l = 0; l < link_bits.size(); ++l) {
+      out.per_link_mbps[l] = link_bits[l] / out.duration_s / 1e6;
+      bits += link_bits[l];
+    }
+    out.total_mbps = bits / out.duration_s / 1e6;
+  }
+  out.jain = jain_index(out.per_link_mbps);
+  out.mean_winners_per_round = winners_per_round.mean();
+  out.mean_streams_per_round = streams_per_round.mean();
+}
+
+}  // namespace
+
 SessionResult run_session(const World& world, const Scenario& scenario,
                           util::Rng& rng, const SessionConfig& config) {
+  // A dynamic session mutates its world; use the World& overload.
+  assert(!config.dynamics.active());
   SessionResult out;
   const std::size_t n_links = scenario.links.size();
   out.per_link_mbps.assign(n_links, 0.0);
@@ -30,25 +81,6 @@ SessionResult run_session(const World& world, const Scenario& scenario,
   util::RunningStats winners_per_round;
   util::RunningStats streams_per_round;
   double busy_end_s = 0.0;  // sim time when the last round's body+ACK ended
-
-  const auto total_bits = [&] {
-    double b = 0.0;
-    for (double v : link_bits) b += v;
-    return b;
-  };
-  const auto snapshot_at = [&](double t) {
-    SessionSnapshot s;
-    s.t_s = t;
-    s.rounds = out.rounds;
-    s.total_mbps = t > 0.0 ? total_bits() / t / 1e6 : 0.0;
-    std::vector<double> rates(n_links);
-    for (std::size_t l = 0; l < n_links; ++l) {
-      rates[l] = t > 0.0 ? link_bits[l] / t / 1e6 : 0.0;
-    }
-    s.jain = jain_index(rates);
-    s.join_rate = winners_per_round.mean();
-    out.series.push_back(s);
-  };
 
   // Each handler runs one round at the sim time where the previous round's
   // airtime (plus the idle gap) ended, then schedules its successor. The
@@ -68,7 +100,7 @@ SessionResult run_session(const World& world, const Scenario& scenario,
 
     if (config.snapshot_every > 0 &&
         out.rounds % config.snapshot_every == 0) {
-      snapshot_at(busy_end_s);
+      take_snapshot(out, link_bits, winners_per_round, busy_end_s);
     }
     if (out.rounds >= config.n_rounds) return;
     const double next_start = busy_end_s + config.inter_round_gap_s;
@@ -85,22 +117,170 @@ SessionResult run_session(const World& world, const Scenario& scenario,
     sim.run();
   }
 
-  // Session duration: the horizon if one was set (EventSim advanced the
-  // clock to it), otherwise the end of the last round's airtime — the sim
-  // clock alone stops at the last round's *start* event.
-  out.duration_s = std::max(sim.now(), busy_end_s);
-  if (out.duration_s > 0.0) {
-    double bits = 0.0;
-    for (std::size_t l = 0; l < n_links; ++l) {
-      out.per_link_mbps[l] = link_bits[l] / out.duration_s / 1e6;
-      bits += link_bits[l];
-    }
-    out.total_mbps = bits / out.duration_s / 1e6;
-  }
-  out.jain = jain_index(out.per_link_mbps);
-  out.mean_winners_per_round = winners_per_round.mean();
-  out.mean_streams_per_round = streams_per_round.mean();
+  finalize_session(out, link_bits, winners_per_round, streams_per_round,
+                   sim.now(), busy_end_s);
+  out.mean_active_links = static_cast<double>(n_links);
   return out;
+}
+
+namespace {
+
+// The living-cell session: identical MAC/round accounting to the static
+// path, with a physical-world step (mobility -> channel evolution -> churn
+// mask) before each round and a feedback step (AARF observations, CSI
+// re-measurement for the links that exchanged handshakes/ACKs) after it.
+// Every dynamics draw comes from one stream forked off the session rng at
+// start, so the trace is a pure function of (world seed, session seed).
+SessionResult run_dynamic_session(World& world, const Scenario& scenario,
+                                  util::Rng& rng,
+                                  const SessionConfig& config) {
+  SessionResult out;
+  const std::size_t n_links = scenario.links.size();
+  out.per_link_mbps.assign(n_links, 0.0);
+  if (config.n_rounds == 0) return out;
+
+  const DynamicsConfig& dyn = config.dynamics;
+  util::Rng dyn_rng = rng.fork(0xD1AA);
+
+  std::vector<channel::Location> initial;
+  initial.reserve(world.n_nodes());
+  for (std::size_t i = 0; i < world.n_nodes(); ++i) {
+    initial.push_back(world.node_position(i));
+  }
+  Mobility mobility(std::move(initial), dyn.mobility, dyn_rng);
+
+  std::vector<std::uint8_t> flow_on(
+      n_links, dyn.churn.start_all_active ? 1 : 0);
+  std::vector<std::uint8_t> present(world.n_nodes(), 1);
+  std::vector<std::uint8_t> mask(n_links, 1);
+
+  phy::RateController rate_ctl(dyn.rate_control);
+  RoundConfig round_cfg = config.round;
+  if (dyn.use_rate_control) round_cfg.rate_control = &rate_ctl;
+
+  mac::EventSim sim;
+  std::vector<double> link_bits(n_links, 0.0);
+  util::RunningStats winners_per_round;
+  util::RunningStats streams_per_round;
+  util::RunningStats active_links;
+  double busy_end_s = 0.0;
+  double last_step_t = 0.0;  // sim time the world state is current for
+
+  const auto maybe_snapshot_and_chain = [&](std::function<void()>& self) {
+    if (config.snapshot_every > 0 &&
+        out.rounds % config.snapshot_every == 0) {
+      take_snapshot(out, link_bits, winners_per_round, busy_end_s);
+    }
+    if (out.rounds >= config.n_rounds) return;
+    const double next_start = busy_end_s + config.inter_round_gap_s;
+    if (config.max_duration_s > 0.0 && next_start > config.max_duration_s) {
+      return;
+    }
+    sim.schedule_at(next_start, self);
+  };
+  // P(at least one Poisson event of `rate` in dt) — the memoryless
+  // transition probability for flows and nodes.
+  const auto transitions = [&](double rate_hz, double dt) {
+    return rate_hz > 0.0 &&
+           dyn_rng.bernoulli(1.0 - std::exp(-rate_hz * dt));
+  };
+
+  std::function<void()> round_fn = [&] {
+    // --- Physical-world step: the time since the last step elapsed with
+    // the previous round on the air; the world moved underneath it.
+    const double dt = sim.now() - last_step_t;
+    last_step_t = sim.now();
+    if (dt > 0.0) {
+      mobility.advance(dt, dyn_rng);
+      world.advance(mobility.positions(), mobility.speed_mps(), dt,
+                    dyn.evolution, dyn_rng);
+      for (std::size_t l = 0; l < n_links; ++l) {
+        flow_on[l] = flow_on[l]
+                         ? (transitions(dyn.churn.flow_departure_hz, dt)
+                                ? 0 : 1)
+                         : (transitions(dyn.churn.flow_arrival_hz, dt)
+                                ? 1 : 0);
+      }
+      for (std::size_t i = 0; i < present.size(); ++i) {
+        present[i] = present[i]
+                         ? (transitions(dyn.churn.node_leave_hz, dt) ? 0 : 1)
+                         : (transitions(dyn.churn.node_return_hz, dt) ? 1
+                                                                      : 0);
+      }
+    }
+    std::size_t n_active = 0;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      mask[l] = (flow_on[l] != 0 && present[scenario.links[l].tx_node] &&
+                 present[scenario.links[l].rx_node])
+                    ? 1
+                    : 0;
+      n_active += mask[l];
+    }
+    active_links.add(static_cast<double>(n_active));
+
+    if (n_active == 0) {
+      // Nobody has traffic: the cell idles for one listen interval. Counts
+      // as a (delivery-free) round so churned-dead sessions terminate.
+      out.rounds += 1;
+      out.idle_rounds += 1;
+      winners_per_round.add(0.0);
+      streams_per_round.add(0.0);
+      out.round_duration.add(dyn.churn.idle_step_s);
+      busy_end_s = sim.now() + dyn.churn.idle_step_s;
+      maybe_snapshot_and_chain(round_fn);
+      return;
+    }
+
+    const RoundResult res =
+        run_nplus_round(world, scenario, rng, round_cfg, &mask);
+    out.rounds += 1;
+    winners_per_round.add(static_cast<double>(res.winner_order.size()));
+    streams_per_round.add(static_cast<double>(res.total_streams));
+    out.round_duration.add(res.duration_s);
+    for (std::size_t l = 0; l < n_links; ++l) {
+      link_bits[l] += res.links[l].delivered_bits;
+    }
+    busy_end_s = sim.now() + res.duration_s;
+
+    // --- Feedback step: links that transmitted learn from it. Their
+    // transmitters saw ACKs (AARF observations) and heard fresh preambles
+    // from their receivers (reciprocal CSI re-measured); every other
+    // belief in the cell keeps aging toward uselessness.
+    for (std::size_t l = 0; l < n_links; ++l) {
+      const LinkOutcome& o = res.links[l];
+      if (o.streams == 0 || o.mcs_index < 0) continue;
+      if (dyn.use_rate_control) rate_ctl.observe(l, o.per < 0.5);
+      world.refresh_csi(scenario.links[l].tx_node,
+                        scenario.links[l].rx_node, dyn_rng);
+    }
+
+    maybe_snapshot_and_chain(round_fn);
+  };
+
+  sim.schedule_at(0.0, round_fn);
+  if (config.max_duration_s > 0.0) {
+    sim.run(config.max_duration_s);
+  } else {
+    sim.run();
+  }
+
+  finalize_session(out, link_bits, winners_per_round, streams_per_round,
+                   sim.now(), busy_end_s);
+  out.mean_active_links = active_links.mean();
+  return out;
+}
+
+}  // namespace
+
+SessionResult run_session(World& world, const Scenario& scenario,
+                          util::Rng& rng, const SessionConfig& config) {
+  if (!config.dynamics.active()) {
+    // Exact static path (same draws, same trace): dynamics-off sessions on
+    // a mutable world are indistinguishable from the const overload.
+    return run_session(static_cast<const World&>(world), scenario, rng,
+                       config);
+  }
+  return run_dynamic_session(world, scenario, rng, config);
 }
 
 }  // namespace nplus::sim

@@ -13,10 +13,62 @@
 #include <cstddef>
 #include <vector>
 
+#include "channel/evolution.h"
+#include "phy/rate_control.h"
+#include "sim/mobility.h"
 #include "sim/round.h"
 #include "util/stats.h"
 
 namespace nplus::sim {
+
+// --- Session churn -------------------------------------------------------
+//
+// Flows (links) switch between backlogged and idle, and nodes power off and
+// return, as memoryless (Poisson) processes: between rounds, each entity
+// transitions with probability 1 - exp(-rate * dt) for the dt the previous
+// round occupied. A link contends only while its flow is on AND both
+// endpoints are present. Churn operates over the scenario's fixed node
+// population — departed nodes may return, but brand-new nodes never appear
+// mid-session (an eager World cannot grow channels; document-level
+// limitation, not an RNG one).
+struct ChurnConfig {
+  double flow_arrival_hz = 0.0;    // idle flow -> backlogged
+  double flow_departure_hz = 0.0;  // backlogged flow -> idle
+  double node_leave_hz = 0.0;      // present node -> away
+  double node_return_hz = 0.0;     // away node -> present
+  // Initial flow state (nodes always start present).
+  bool start_all_active = true;
+  // Sim-clock step consumed by a slot in which no link is active (the cell
+  // sits idle listening; nothing to contend for).
+  double idle_step_s = 1e-3;
+
+  bool any() const {
+    return flow_arrival_hz > 0.0 || flow_departure_hz > 0.0 ||
+           node_leave_hz > 0.0 || node_return_hz > 0.0 ||
+           !start_all_active;
+  }
+};
+
+// --- The dynamics switchboard --------------------------------------------
+//
+// Everything time-varying about a session, in one struct so call sites read
+// as "this session is dynamic". Defaults are all-off, and active() == false
+// guarantees the session takes the EXACT static code path — same RNG draw
+// sequence, bit-identical traces to the pre-dynamics engine (the golden
+// fixtures pin this).
+struct DynamicsConfig {
+  MobilityConfig mobility{};               // node motion between rounds
+  channel::EvolutionConfig evolution{};    // Doppler / coherence / shadowing
+  ChurnConfig churn{};                     // flow + node arrival/departure
+  // History-driven MCS adaptation (AARF) instead of oracle eSNR selection.
+  bool use_rate_control = false;
+  phy::RateControlConfig rate_control{};
+
+  bool active() const {
+    return mobility.moves() || evolution.env_doppler_hz > 0.0 ||
+           churn.any() || use_rate_control;
+  }
+};
 
 struct SessionConfig {
   // Rounds to simulate (a round = one n+ transmission opportunity).
@@ -41,6 +93,10 @@ struct SessionConfig {
     r.dcf_contention = true;
     return r;
   }();
+  // Dynamic-network knobs (mobility, channel evolution, churn, adaptive
+  // rates). All-off by default; when active() the session needs the
+  // mutable-World overload of run_session below.
+  DynamicsConfig dynamics{};
 };
 
 // Cumulative state at a snapshot point (taken at a round's end).
@@ -62,6 +118,10 @@ struct SessionResult {
   double mean_streams_per_round = 0.0;
   util::RunningStats round_duration;     // per-round airtime stats
   std::vector<SessionSnapshot> series;
+  // Dynamics counters. On the static path idle_rounds is always 0 and
+  // mean_active_links equals the link count (everything is always on).
+  std::size_t idle_rounds = 0;     // slots where churn left no active link
+  double mean_active_links = 0.0;  // mean churn-mask popcount per round
 };
 
 // Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative rates:
@@ -72,7 +132,23 @@ double jain_index(const std::vector<double>& xs);
 // Runs a session of `config.n_rounds` n+ rounds on `world`. Deterministic
 // in `rng` (rounds consume the stream in round order), so forked streams
 // make whole sessions reproducible under parallel dispatch.
+//
+// Static-world overload: requires config.dynamics.active() == false
+// (asserted) — an immutable world cannot move.
 SessionResult run_session(const World& world, const Scenario& scenario,
+                          util::Rng& rng, const SessionConfig& config);
+
+// Dynamics-capable overload. When config.dynamics.active(), each round is
+// preceded by a physical-world step covering the previous round's airtime:
+// mobility advances node positions, World::advance applies the
+// Doppler-matched Gauss-Markov channel evolution and path-loss/shadowing
+// drift, churn re-draws the active-link mask, and after the round the
+// links that transmitted re-measure their reciprocal CSI (everyone else's
+// keeps aging). All dynamics randomness comes from a single stream forked
+// off `rng` at session start, so the trace is reproducible from (world
+// seed, session seed) exactly like the static path. With dynamics
+// inactive this overload IS the static path — same draws, same trace.
+SessionResult run_session(World& world, const Scenario& scenario,
                           util::Rng& rng, const SessionConfig& config);
 
 }  // namespace nplus::sim

@@ -31,18 +31,18 @@ World::World(const channel::Testbed& testbed,
     : nodes_(nodes),
       config_(config),
       noise_power_(testbed.noise_power_linear()),
-      rng_(rng.fork(0x77)) {
+      rng_(rng.fork(0x77)),
+      testbed_(testbed),
+      locations_(locations),
+      roles_(roles) {
   assert(nodes.size() == locations.size());
   assert(roles.empty() || roles.size() == nodes.size());
   const std::size_t n = nodes.size();
   static const auto data_sc = phy::data_subcarriers();
 
   if (config_.lazy_channels) {
-    // Nothing is drawn up front: keep what materialization needs and
-    // reserve a fork base whose children are keyed purely by pair labels.
-    testbed_ = testbed;
-    locations_ = locations;
-    roles_ = roles;
+    // Nothing is drawn up front: reserve a fork base whose children are
+    // keyed purely by pair labels.
     lazy_base_ = rng.fork(0x177);
     return;
   }
@@ -52,11 +52,25 @@ World::World(const channel::Testbed& testbed,
   link_snr_db_.assign(n, std::vector<double>(n, -300.0));
 
   // Draw one physical channel per unordered pair; the reverse direction is
-  // its exact transpose (electromagnetic reciprocity).
+  // its exact transpose (electromagnetic reciprocity). The tap-domain
+  // channel is retained (pair_taps_) so advance() can evolve it later.
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
       if (!pair_active(roles, a, b)) continue;
-      const channel::MimoChannel fwd = testbed.make_channel(
+      // Dynamics ledger entry. The realized shadowing draw is recovered by
+      // peeking a COPY of the stream (link_gain is the first draw
+      // make_channel makes), so the real stream is untouched.
+      {
+        PairDyn dyn;
+        dyn.prev_dist_m = testbed.distance_m(locations[a], locations[b]);
+        util::Rng peek = rng;
+        const double loss_db = -util::to_db(std::max(
+            testbed.link_gain(locations[a], locations[b], peek), 1e-300));
+        dyn.shadow_s0_db =
+            loss_db - testbed.path_loss().median_loss_db(dyn.prev_dist_m);
+        dyn_.emplace(static_cast<std::uint64_t>(a) * n + b, dyn);
+      }
+      channel::MimoChannel fwd = testbed.make_channel(
           locations[a], locations[b], nodes[a].n_antennas,
           nodes[b].n_antennas, rng);
 
@@ -67,6 +81,8 @@ World::World(const channel::Testbed& testbed,
         channels_[a][b][s] = h;                 // a -> b: N_b x M_a
         channels_[b][a][s] = h.transpose();     // b -> a: reciprocity
       }
+      pair_taps_.emplace(static_cast<std::uint64_t>(a) * n + b,
+                         std::move(fwd));
 
       // Pre-cancellation link SNR (mean channel entry power / noise).
       double p = 0.0;
@@ -99,9 +115,9 @@ World::World(const channel::Testbed& testbed,
           !((roles[a] & kRoleTx) && (roles[b] & kRoleRx))) {
         continue;
       }
-      recip_[a][b].resize(kSubcarriers);
       // One calibration error per antenna pair, constant across subcarriers
-      // (hardware chains are flat over 10 MHz).
+      // (hardware chains are flat over 10 MHz). Stored: refresh_csi reuses
+      // it — calibration is a hardware property, not a channel property.
       CMat cal(nodes_[b].n_antennas, nodes_[a].n_antennas);
       for (std::size_t r = 0; r < cal.rows(); ++r) {
         for (std::size_t c = 0; c < cal.cols(); ++c) {
@@ -110,18 +126,40 @@ World::World(const channel::Testbed& testbed,
                                      config_.calibration_std);
         }
       }
-      for (std::size_t s = 0; s < kSubcarriers; ++s) {
-        const CMat est_rev = estimate(channels_[b][a][s]);  // M_a x N_b
-        CMat belief = est_rev.transpose();                  // N_b x M_a
-        for (std::size_t r = 0; r < belief.rows(); ++r) {
-          for (std::size_t c = 0; c < belief.cols(); ++c) {
-            belief(r, c) *= cal(r, c);
-          }
-        }
-        recip_[a][b][s] = std::move(belief);
-      }
+      recip_[a][b] = derive_beliefs(channels_[b][a], cal, rng_);
+      cal_.emplace(static_cast<std::uint64_t>(a) * n + b, std::move(cal));
     }
   }
+}
+
+CMat World::estimate_with(const CMat& true_channel, util::Rng& rng) const {
+  CMat est = true_channel;
+  if (config_.estimation_noise_scale <= 0.0) return est;
+  // LS estimate over the two LTF repetitions: error variance noise/2.
+  const double var = config_.estimation_noise_scale * noise_power_ / 2.0;
+  for (std::size_t r = 0; r < est.rows(); ++r) {
+    for (std::size_t c = 0; c < est.cols(); ++c) {
+      est(r, c) += rng.cgaussian(var);
+    }
+  }
+  return est;
+}
+
+std::vector<CMat> World::derive_beliefs(const std::vector<CMat>& rev_chan,
+                                        const CMat& cal,
+                                        util::Rng& rng) const {
+  std::vector<CMat> beliefs(kSubcarriers);
+  for (std::size_t s = 0; s < kSubcarriers; ++s) {
+    const CMat est_rev = estimate_with(rev_chan[s], rng);  // M_a x N_b
+    CMat belief = est_rev.transpose();                     // N_b x M_a
+    for (std::size_t r = 0; r < belief.rows(); ++r) {
+      for (std::size_t c = 0; c < belief.cols(); ++c) {
+        belief(r, c) *= cal(r, c);
+      }
+    }
+    beliefs[s] = std::move(belief);
+  }
+  return beliefs;
 }
 
 const CMat& World::channel(std::size_t a, std::size_t b,
@@ -153,9 +191,29 @@ const std::vector<CMat>& World::lazy_channel(std::size_t a,
     // stream depends only on the pair label, never on access order.
     util::Rng base = lazy_base_;
     util::Rng pair_rng = base.fork(key);
-    const channel::MimoChannel fwd = testbed_.make_channel(
+    // Dynamics ledger (peek a stream copy; see the eager constructor).
+    PairDyn& dyn = dyn_.try_emplace(key).first->second;
+    if (dyn.prev_dist_m == 0.0) {
+      dyn.prev_dist_m = testbed_.distance_m(locations_[lo], locations_[hi]);
+      util::Rng peek = pair_rng;
+      const double loss_db = -util::to_db(std::max(
+          testbed_.link_gain(locations_[lo], locations_[hi], peek),
+          1e-300));
+      dyn.shadow_s0_db =
+          loss_db - testbed_.path_loss().median_loss_db(dyn.prev_dist_m);
+    }
+    channel::MimoChannel fwd = testbed_.make_channel(
         locations_[lo], locations_[hi], nodes_[lo].n_antennas,
         nodes_[hi].n_antennas, pair_rng);
+    // Dynamics catch-up: a pair whose SNR was read (and then drifted) in
+    // earlier epochs materializes at the CURRENT geometry — make_channel
+    // already used the moved positions and re-realizes the pair stream's
+    // shadowing draw — but must additionally realize the shadowing drift
+    // the advances accumulated, so the channel delivers exactly the link
+    // SNR the world has been advertising.
+    if (dyn.shadow_offset_db() != 0.0) {
+      fwd.scale_gain(util::from_db(-dyn.shadow_offset_db()));
+    }
     LazyPair entry;
     entry.fwd.resize(kSubcarriers);
     entry.rev.resize(kSubcarriers);
@@ -164,6 +222,7 @@ const std::vector<CMat>& World::lazy_channel(std::size_t a,
       entry.fwd[s] = h;
       entry.rev[s] = h.transpose();
     }
+    entry.taps = std::move(fwd);
     it = lazy_pairs_.emplace(key, std::move(entry)).first;
   }
   return a < b ? it->second.fwd : it->second.rev;
@@ -185,7 +244,22 @@ double World::lazy_link_snr_db(std::size_t a, std::size_t b) const {
     util::Rng pair_rng = base.fork(key);
     const double gain =
         testbed_.link_gain(locations_[lo], locations_[hi], pair_rng);
-    const double snr = util::to_db(std::max(gain, 1e-30) / noise_power_);
+    double snr = util::to_db(std::max(gain, 1e-30) / noise_power_);
+    // Dynamics ledger: the budget draw IS the realized shadowing, so s0
+    // falls out directly (sample - median, distance-independent).
+    PairDyn& dyn = dyn_.try_emplace(key).first->second;
+    if (dyn.prev_dist_m == 0.0) {
+      dyn.prev_dist_m = testbed_.distance_m(locations_[lo], locations_[hi]);
+      dyn.shadow_s0_db =
+          -util::to_db(std::max(gain, 1e-300)) -
+          testbed_.path_loss().median_loss_db(dyn.prev_dist_m);
+    }
+    // Dynamics catch-up, mirroring lazy_channel: the budget re-realizes
+    // the pair stream's shadowing draw at the current geometry, but must
+    // also carry the shadowing drift accumulated by advances before this
+    // first read — otherwise the advertised SNR would depend on whether
+    // the channel or the SNR was touched first.
+    snr -= dyn.shadow_offset_db();
     it = lazy_snr_.emplace(key, snr).first;
   }
   return it->second;
@@ -215,42 +289,15 @@ const std::vector<CMat>& World::lazy_recip(std::size_t a,
                                         config_.calibration_std);
       }
     }
-    const double est_var =
-        config_.estimation_noise_scale * noise_power_ / 2.0;
-    std::vector<CMat> beliefs(kSubcarriers);
-    for (std::size_t s = 0; s < kSubcarriers; ++s) {
-      CMat est_rev = rev_chan[s];
-      if (config_.estimation_noise_scale > 0.0) {
-        for (std::size_t r = 0; r < est_rev.rows(); ++r) {
-          for (std::size_t c = 0; c < est_rev.cols(); ++c) {
-            est_rev(r, c) += recip_rng.cgaussian(est_var);
-          }
-        }
-      }
-      CMat belief = est_rev.transpose();  // N_b x M_a
-      for (std::size_t r = 0; r < belief.rows(); ++r) {
-        for (std::size_t c = 0; c < belief.cols(); ++c) {
-          belief(r, c) *= cal(r, c);
-        }
-      }
-      beliefs[s] = std::move(belief);
-    }
+    std::vector<CMat> beliefs = derive_beliefs(rev_chan, cal, recip_rng);
+    cal_.emplace(static_cast<std::uint64_t>(a) * n + b, std::move(cal));
     it = lazy_recip_.emplace(key, std::move(beliefs)).first;
   }
   return it->second;
 }
 
 CMat World::estimate(const CMat& true_channel) const {
-  CMat est = true_channel;
-  if (config_.estimation_noise_scale <= 0.0) return est;
-  // LS estimate over the two LTF repetitions: error variance noise/2.
-  const double var = config_.estimation_noise_scale * noise_power_ / 2.0;
-  for (std::size_t r = 0; r < est.rows(); ++r) {
-    for (std::size_t c = 0; c < est.cols(); ++c) {
-      est(r, c) += rng_.cgaussian(var);
-    }
-  }
-  return est;
+  return estimate_with(true_channel, rng_);
 }
 
 const CMat& World::reciprocal_channel(std::size_t a, std::size_t b,
@@ -260,6 +307,163 @@ const CMat& World::reciprocal_channel(std::size_t a, std::size_t b,
   // Fires if a sparse world is asked for a belief it never materialized.
   assert(!recip_[a][b].empty());
   return recip_[a][b][sc];
+}
+
+// --- Dynamics -----------------------------------------------------------
+
+const channel::Location& World::node_position(std::size_t node) const {
+  assert(node < locations_.size());
+  return testbed_.location(locations_[node]);
+}
+
+void World::rematerialize_pair(std::uint64_t key,
+                               const channel::MimoChannel& ch) {
+  const std::size_t n = nodes_.size();
+  const std::size_t lo = static_cast<std::size_t>(key / n);
+  const std::size_t hi = static_cast<std::size_t>(key % n);
+  static const auto data_sc = phy::data_subcarriers();
+
+  if (config_.lazy_channels) {
+    LazyPair& entry = lazy_pairs_[key];
+    for (std::size_t s = 0; s < kSubcarriers; ++s) {
+      const CMat h = ch.freq_response(data_sc[s], config_.fft_size);
+      entry.fwd[s] = h;
+      entry.rev[s] = h.transpose();
+    }
+    return;
+  }
+
+  double p = 0.0;
+  std::size_t cnt = 0;
+  for (std::size_t s = 0; s < kSubcarriers; ++s) {
+    const CMat h = ch.freq_response(data_sc[s], config_.fft_size);
+    channels_[lo][hi][s] = h;
+    channels_[hi][lo][s] = h.transpose();
+    for (std::size_t r = 0; r < h.rows(); ++r) {
+      for (std::size_t c = 0; c < h.cols(); ++c) {
+        p += std::norm(h(r, c));
+        ++cnt;
+      }
+    }
+  }
+  // Eager convention: link SNR averages the realized fading (as in the
+  // constructor), so it tracks the evolved channel, not just the budget.
+  const double snr = util::to_db(
+      std::max(p / static_cast<double>(cnt), 1e-30) / noise_power_);
+  link_snr_db_[lo][hi] = snr;
+  link_snr_db_[hi][lo] = snr;
+}
+
+void World::advance(const std::vector<channel::Location>& positions,
+                    const std::vector<double>& node_speed_mps, double dt_s,
+                    const channel::EvolutionConfig& evolution,
+                    util::Rng& rng) {
+  const std::size_t n = nodes_.size();
+  assert(positions.size() == n);
+  assert(node_speed_mps.size() == n);
+  if (dt_s <= 0.0) return;
+
+  // Per-node displacement drives shadowing decorrelation; capture it before
+  // committing the move.
+  std::vector<double> disp(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const channel::Location& old = testbed_.location(locations_[i]);
+    disp[i] = std::hypot(positions[i].x_m - old.x_m,
+                         positions[i].y_m - old.y_m);
+  }
+
+  // Every materialized pair already has a dynamics-ledger entry (created
+  // at materialization, where the realized shadowing draw is in hand).
+  for (std::size_t i = 0; i < n; ++i) {
+    testbed_.move_location(locations_[i], positions[i]);
+  }
+
+  const channel::PathLossModel& pl = testbed_.path_loss();
+  // Fixed key order (std::map), so the draw sequence never depends on the
+  // order in which rounds happened to touch pairs.
+  for (auto& [key, dyn] : dyn_) {
+    const std::size_t lo = static_cast<std::size_t>(key / n);
+    const std::size_t hi = static_cast<std::size_t>(key % n);
+
+    // Large scale: deterministic median-path-loss change plus anchored
+    // Gudmundson shadowing (draws only if something moved). The pair's
+    // total shadowing is anchor * s0 + delta; one AR(1) step at rho_s
+    // decays the anchor and refreshes delta so total variance stays at
+    // the path-loss model's sigma^2 exactly (see PairDyn).
+    double gain_delta_db = 0.0;
+    const double moved = disp[lo] + disp[hi];
+    if (moved > 0.0) {
+      const double d_new = testbed_.distance_m(locations_[lo],
+                                               locations_[hi]);
+      const double rho_s =
+          channel::shadow_rho(moved, evolution.shadow_decorr_m);
+      const double anchor_new = rho_s * dyn.shadow_anchor;
+      const double delta_new =
+          rho_s * dyn.shadow_delta_db +
+          std::sqrt(std::max(0.0, 1.0 - rho_s * rho_s)) *
+              rng.gaussian(0.0, pl.shadowing_sigma_db);
+      gain_delta_db =
+          pl.median_loss_db(dyn.prev_dist_m) - pl.median_loss_db(d_new) +
+          (dyn.shadow_anchor - anchor_new) * dyn.shadow_s0_db +
+          (dyn.shadow_delta_db - delta_new);
+      dyn.shadow_anchor = anchor_new;
+      dyn.shadow_delta_db = delta_new;
+      dyn.prev_dist_m = d_new;
+    }
+
+    // Small scale: one Gauss-Markov step at the Jakes-matched rho.
+    const double fd =
+        evolution.env_doppler_hz +
+        channel::doppler_hz(node_speed_mps[lo] + node_speed_mps[hi],
+                            evolution.carrier_hz);
+    const double rho_d = channel::doppler_rho(fd, dt_s);
+
+    channel::MimoChannel* ch = nullptr;
+    if (config_.lazy_channels) {
+      auto it = lazy_pairs_.find(key);
+      if (it != lazy_pairs_.end()) ch = &it->second.taps;
+    } else {
+      auto it = pair_taps_.find(key);
+      if (it != pair_taps_.end()) ch = &it->second;
+    }
+
+    bool changed = false;
+    if (ch != nullptr && rho_d < 1.0) {
+      ch->evolve(rho_d, rng);
+      changed = true;
+    }
+    if (ch != nullptr && gain_delta_db != 0.0) {
+      ch->scale_gain(util::from_db(gain_delta_db));
+      changed = true;
+    }
+    if (changed) rematerialize_pair(key, *ch);
+
+    // Lazy link SNRs are budget numbers: shift them by the large-scale
+    // delta (fading evolution leaves the budget untouched). Covers both
+    // SNR-only pairs and pairs with materialized channels.
+    if (config_.lazy_channels && gain_delta_db != 0.0) {
+      auto snr_it = lazy_snr_.find(key);
+      if (snr_it != lazy_snr_.end()) snr_it->second += gain_delta_db;
+    }
+  }
+}
+
+void World::refresh_csi(std::size_t a, std::size_t b, util::Rng& rng) {
+  assert(a != b);
+  const std::size_t n = nodes_.size();
+  const std::uint64_t dkey = static_cast<std::uint64_t>(a) * n + b;
+  const auto cal_it = cal_.find(dkey);
+  if (config_.lazy_channels) {
+    const std::uint64_t rkey = static_cast<std::uint64_t>(n) * n + dkey;
+    auto it = lazy_recip_.find(rkey);
+    if (it == lazy_recip_.end()) return;  // never measured; stays lazy
+    assert(cal_it != cal_.end());
+    it->second = derive_beliefs(lazy_channel(b, a), cal_it->second, rng);
+    return;
+  }
+  if (recip_[a][b].empty()) return;
+  assert(cal_it != cal_.end());
+  recip_[a][b] = derive_beliefs(channels_[b][a], cal_it->second, rng);
 }
 
 }  // namespace nplus::sim

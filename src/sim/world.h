@@ -12,12 +12,19 @@
 // The signal-level plane (channel::Scene + phy::transceiver) reproduces
 // these effects physically; this class reproduces them statistically so the
 // MAC/throughput experiments can run thousands of rounds cheaply.
+//
+// Worlds may also be DYNAMIC: advance() moves nodes and evolves every
+// materialized channel with a Doppler-matched Gauss-Markov step (beliefs
+// deliberately go stale; refresh_csi() re-measures one pair) — see the
+// "Dynamic networks" section in src/README.md. A world that is never
+// advanced behaves exactly as before.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "channel/evolution.h"
 #include "channel/mimo_channel.h"
 #include "channel/testbed.h"
 #include "linalg/mat.h"
@@ -107,8 +114,52 @@ class World {
   // The channel from a to b as *node a* can know it: reciprocity from b's
   // overheard transmission, i.e. estimate noise + calibration error.
   // Cached per (a, b): the calibration error is a fixed hardware property.
+  //
+  // Under dynamics this cache is exactly what goes STALE: advance() evolves
+  // the true channels but deliberately leaves beliefs at their
+  // last-measured values; refresh_csi() re-measures one directed pair.
   const CMat& reciprocal_channel(std::size_t a, std::size_t b,
                                  std::size_t sc) const;
+
+  // --- Dynamic networks --------------------------------------------------
+  // A static World is immutable after construction; the dynamics engine
+  // (sim/mobility.h + channel/evolution.h) drives it through two mutators.
+  // Neither is thread-safe — a dynamic world belongs to one session, just
+  // like a lazy one.
+
+  // Current position of a node (meters on the scenario floor).
+  const channel::Location& node_position(std::size_t node) const;
+
+  // Advances the physical world by dt_s: moves every node to positions[i],
+  // then for each *materialized* pair applies
+  //  * the large-scale update — median path loss at the new distance plus
+  //    anchored Gudmundson shadowing: an AR(1) step in dB per traveled
+  //    distance that geometrically decays the materialization draw while
+  //    injecting matched innovation, keeping total shadowing variance at
+  //    exactly the path-loss model's sigma^2 for all time (see PairDyn),
+  //    and
+  //  * the small-scale update — one Gauss-Markov tap-evolution step at
+  //    rho = J0(2*pi*f_d*dt), f_d from the endpoints' realized speeds plus
+  //    the config's environmental Doppler floor
+  // and re-materializes the pair's per-subcarrier matrices and link SNR.
+  // Reciprocity beliefs are NOT refreshed (CSI measured in round t stays
+  // pinned until refresh_csi, so it is stale by round t+k). Lazy pairs not
+  // yet touched materialize later at the then-current geometry, with the
+  // pair's accumulated shadowing offset applied, preserving the SNR/channel
+  // seeding invariant at materialization time. With zero motion and zero
+  // Doppler the call is an exact no-op and consumes no RNG draws.
+  // Randomness comes from `rng` only (fork one dynamics stream per
+  // session); draw order is the fixed pair-key order, never access order.
+  void advance(const std::vector<channel::Location>& positions,
+               const std::vector<double>& node_speed_mps, double dt_s,
+               const channel::EvolutionConfig& evolution, util::Rng& rng);
+
+  // Re-measures node a's reciprocal belief about the channel a -> b from
+  // the channel as it is NOW (fresh estimation noise from `rng`, the pair's
+  // fixed calibration error). Sessions call this for pairs that exchanged
+  // a handshake/ACK this round; every other belief keeps aging. No-op for
+  // pairs that never materialized a belief.
+  void refresh_csi(std::size_t a, std::size_t b, util::Rng& rng);
 
   static constexpr std::size_t kSubcarriers = 48;
 
@@ -120,6 +171,17 @@ class World {
   const std::vector<CMat>& lazy_recip(std::size_t a, std::size_t b) const;
   double lazy_link_snr_db(std::size_t a, std::size_t b) const;
 
+  // Estimation noise from an explicit stream (refresh_csi / belief
+  // derivation); estimate() keeps using the world's own stream.
+  CMat estimate_with(const CMat& true_channel, util::Rng& rng) const;
+  // Belief a -> b from the current reverse channel + a fixed calibration
+  // matrix: shared by the lazy materialization path and refresh_csi.
+  std::vector<CMat> derive_beliefs(const std::vector<CMat>& rev_chan,
+                                   const CMat& cal, util::Rng& rng) const;
+  // Re-derives per-subcarrier matrices (and, eager mode, link SNR) for a
+  // pair whose taps changed under advance().
+  void rematerialize_pair(std::uint64_t key, const channel::MimoChannel& ch);
+
   std::vector<NodeSpec> nodes_;
   WorldConfig config_;
   double noise_power_;
@@ -130,14 +192,46 @@ class World {
   std::vector<std::vector<std::vector<CMat>>> recip_;
   std::vector<std::vector<double>> link_snr_db_;
 
-  // Lazy-mode state (unused by the eager modes).
-  struct LazyPair {
-    std::vector<CMat> fwd;  // lo -> hi, per subcarrier
-    std::vector<CMat> rev;  // hi -> lo (transpose: reciprocity)
-  };
+  // Geometry (all modes; the dynamics engine moves testbed_ locations).
   channel::Testbed testbed_{std::vector<channel::Location>{}};
   std::vector<std::size_t> locations_;
   std::vector<std::uint8_t> roles_;
+
+  // Tap-domain channel per unordered pair, keyed lo * n_nodes + hi: the
+  // state Gauss-Markov evolution operates on (eager modes; lazy pairs keep
+  // theirs inside LazyPair). Calibration errors are keyed a * n_nodes + b
+  // (directed) and fixed for the world's lifetime — hardware doesn't
+  // recalibrate because furniture moved.
+  std::map<std::uint64_t, channel::MimoChannel> pair_taps_;
+  mutable std::map<std::uint64_t, CMat> cal_;
+
+  // Per-pair dynamics state, created at materialization. The pair's total
+  // shadowing at any time is anchor * s0 + delta: s0 is the realized
+  // materialization draw (recovered draw-free by peeking the stream),
+  // anchor decays geometrically with traveled distance (Gudmundson rho),
+  // and delta is the AR(1) innovation accumulator with variance
+  // (1 - anchor^2) * sigma^2 — so total shadowing variance is EXACTLY the
+  // path-loss model's sigma^2 at every time, and the correlation with the
+  // materialization draw decays to zero (not to a floor).
+  struct PairDyn {
+    double prev_dist_m = 0.0;
+    double shadow_s0_db = 0.0;    // realized shadowing at materialization
+    double shadow_anchor = 1.0;   // current weight of s0
+    double shadow_delta_db = 0.0; // accumulated innovation
+    // Shadowing (dB) currently in effect relative to the materialization
+    // draw: what late materializations must fold in.
+    double shadow_offset_db() const {
+      return (shadow_anchor - 1.0) * shadow_s0_db + shadow_delta_db;
+    }
+  };
+  mutable std::map<std::uint64_t, PairDyn> dyn_;
+
+  // Lazy-mode state (unused by the eager modes).
+  struct LazyPair {
+    channel::MimoChannel taps{std::vector<std::vector<channel::Samples>>{}};
+    std::vector<CMat> fwd;  // lo -> hi, per subcarrier
+    std::vector<CMat> rev;  // hi -> lo (transpose: reciprocity)
+  };
   util::Rng lazy_base_{0, 0};  // copied, never advanced, per fork
   mutable std::map<std::uint64_t, LazyPair> lazy_pairs_;
   mutable std::map<std::uint64_t, std::vector<CMat>> lazy_recip_;
