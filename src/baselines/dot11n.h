@@ -18,4 +18,18 @@ namespace nplus::baselines {
 sim::RoundFn make_dot11n_round_fn(const sim::Scenario& scenario,
                                   const sim::RoundConfig& config);
 
+// One 802.11n round in the session engine's RoundResult shape — the
+// baseline scheme a failure-aware session (SessionConfig::scheme ==
+// Scheme::kDot11n) runs instead of run_nplus_round, so n+ and stock
+// 802.11n can be swept under the identical fault plan. Honors the churn/
+// outage mask, the DCF path (with escalated retry windows via
+// config.faults), and the degenerate-channel injection; like the RoundFn
+// above, nobody ever joins — one link per round owns the medium.
+sim::RoundResult run_dot11n_round(const sim::World& world,
+                                  const sim::Scenario& scenario,
+                                  util::Rng& rng,
+                                  const sim::RoundConfig& config,
+                                  const std::vector<std::uint8_t>*
+                                      active_links = nullptr);
+
 }  // namespace nplus::baselines

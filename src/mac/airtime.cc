@@ -57,6 +57,10 @@ double nplus_ack_s(const AirtimeConfig& cfg) {
   return preamble_s(cfg, 1) + symbol_s(cfg);
 }
 
+double ack_timeout_s(const AirtimeConfig& cfg) {
+  return cfg.timing.sifs_s + nplus_ack_s(cfg) + cfg.timing.slot_s;
+}
+
 double handshake_overhead_fraction(const AirtimeConfig& cfg,
                                    const phy::Mcs& mcs, std::size_t bytes) {
   // Extra cost of n+ vs 802.11n for a single pair: two SIFS plus the header

@@ -50,6 +50,12 @@ double nplus_handshake_s(const AirtimeConfig& cfg, std::size_t n_streams);
 // n+ concurrent-ACK duration (all ACKs ride together; one ACK airtime).
 double nplus_ack_s(const AirtimeConfig& cfg);
 
+// ACK timeout: how long a sender waits past its body's end before declaring
+// the ACK lost and arming a retry (802.11's ACKTimeout = SIFS + ACK airtime
+// + one slot of propagation slack). The failure-aware session charges this
+// to the round whenever any frame went un-ACKed.
+double ack_timeout_s(const AirtimeConfig& cfg);
+
 // Fraction of a 802.11n exchange added by the light-weight handshake
 // (the paper's ~4% number for 1500 B at 18 Mb/s).
 double handshake_overhead_fraction(const AirtimeConfig& cfg,

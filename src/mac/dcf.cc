@@ -26,8 +26,28 @@ void BackoffEntity::on_success(util::Rng& rng) {
 ContentionOutcome contend(std::size_t n_stations, util::Rng& rng,
                           const phy::MacTiming& timing, const DcfConfig& cfg,
                           double collision_cost_s) {
-  assert(n_stations >= 1);
-  std::vector<BackoffEntity> stations(n_stations, BackoffEntity(cfg));
+  // Delegates to the per-station-CW overload with every window at cw_min:
+  // BackoffEntity construction and draw order match exactly, so both
+  // overloads consume the stream identically.
+  return contend(std::vector<int>(n_stations, cfg.cw_min), rng, timing, cfg,
+                 collision_cost_s);
+}
+
+ContentionOutcome contend(const std::vector<int>& cw0, util::Rng& rng,
+                          const phy::MacTiming& timing, const DcfConfig& cfg,
+                          double collision_cost_s) {
+  assert(!cw0.empty());
+  std::vector<BackoffEntity> stations;
+  stations.reserve(cw0.size());
+  for (int cw : cw0) {
+    // A station resuming a retry chain opens at its escalated window; its
+    // ceiling never drops below that window (cw_max can only cap further
+    // doubling, not undo escalation already paid for).
+    DcfConfig per = cfg;
+    per.cw_min = cw;
+    per.cw_max = std::max(cfg.cw_max, cw);
+    stations.emplace_back(per);
+  }
   for (auto& s : stations) s.start_new_packet(rng);
 
   ContentionOutcome out;

@@ -69,4 +69,15 @@ ContentionOutcome contend(std::size_t n_stations, util::Rng& rng,
                           const DcfConfig& cfg = {},
                           double collision_cost_s = 500e-6);
 
+// Same contention, but station i starts with its own contention window
+// cw0[i] — the failure-aware MAC's escalated windows: a station mid-way
+// through a retry chain re-contends with the doubled CW its chain reached,
+// not a fresh cw_min (802.11 keeps the window across the retry). With every
+// cw0[i] == cfg.cw_min this is draw-for-draw identical to the overload
+// above (the faults-off identity the goldens pin).
+ContentionOutcome contend(const std::vector<int>& cw0, util::Rng& rng,
+                          const phy::MacTiming& timing = {},
+                          const DcfConfig& cfg = {},
+                          double collision_cost_s = 500e-6);
+
 }  // namespace nplus::mac

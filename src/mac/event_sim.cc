@@ -5,9 +5,18 @@
 
 namespace nplus::mac {
 
-void EventSim::schedule_at(SimTime t, Handler fn) {
+TimerId EventSim::schedule_at(SimTime t, Handler fn) {
   assert(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  const TimerId id = next_seq_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventSim::cancel(TimerId id) {
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
 }
 
 void EventSim::run(SimTime until) {
@@ -21,6 +30,12 @@ void EventSim::run(SimTime until) {
     if (top.t > until) break;
     Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
+    if (cancelled_.erase(ev.seq) > 0) {
+      // A cancelled event is a tombstone: discard it without touching the
+      // clock — a cancelled tail timer must not age the simulation.
+      continue;
+    }
+    live_.erase(ev.seq);
     now_ = ev.t;
     ev.fn();
   }
@@ -34,6 +49,8 @@ void EventSim::run(SimTime until) {
 
 void EventSim::clear() {
   while (!queue_.empty()) queue_.pop();
+  live_.clear();
+  cancelled_.clear();
 }
 
 }  // namespace nplus::mac

@@ -8,11 +8,17 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace nplus::mac {
 
 using SimTime = double;  // seconds
+
+// Handle to a scheduled event, usable with EventSim::cancel(). Ids are
+// unique for the lifetime of the EventSim (they are the FIFO sequence
+// numbers), so a stale handle can never cancel a later event by accident.
+using TimerId = std::uint64_t;
 
 class EventSim {
  public:
@@ -22,10 +28,20 @@ class EventSim {
   // leave the clock at the last event.
   static constexpr SimTime kNever = 1e18;
 
-  // Schedules `fn` at absolute time `t` (must be >= now()).
-  void schedule_at(SimTime t, Handler fn);
+  // Schedules `fn` at absolute time `t` (must be >= now()). The returned
+  // TimerId cancels it while it is still pending.
+  TimerId schedule_at(SimTime t, Handler fn);
   // Schedules `fn` `dt` seconds from now.
-  void schedule_in(SimTime dt, Handler fn) { schedule_at(now_ + dt, fn); }
+  TimerId schedule_in(SimTime dt, Handler fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  // Cancels a pending event: it will neither run nor advance the clock
+  // when its heap slot surfaces. Returns false (and does nothing) if the
+  // id already fired, was already cancelled, or was never scheduled — the
+  // ACK-timeout pattern ("cancel the timeout iff the ACK arrived first")
+  // needs that to be a safe no-op.
+  bool cancel(TimerId id);
 
   SimTime now() const { return now_; }
 
@@ -41,7 +57,10 @@ class EventSim {
   // Drops all pending events (used by tests).
   void clear();
 
-  std::size_t pending() const { return queue_.size(); }
+  // Pending = scheduled, not yet fired, not cancelled. Cancelled events
+  // still occupy heap slots until their time surfaces, but they are dead:
+  // they never run and never advance the clock.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
  private:
   struct Event {
@@ -59,6 +78,8 @@ class EventSim {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> live_;       // scheduled, not fired/cancelled
+  std::unordered_set<TimerId> cancelled_;  // cancelled, still in the heap
 };
 
 }  // namespace nplus::mac

@@ -1,0 +1,225 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nplus::sim {
+
+namespace {
+
+void check_prob(double v, const char* name) {
+  if (!(v >= 0.0 && v <= 1.0)) {  // !(>=) also rejects NaN
+    throw std::invalid_argument(std::string("FaultConfig::") + name +
+                                " must be a probability in [0, 1], got " +
+                                std::to_string(v));
+  }
+}
+
+void check_rate(double v, const char* name) {
+  if (!(v >= 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string("FaultConfig::") + name +
+                                " must be a finite non-negative rate, got " +
+                                std::to_string(v));
+  }
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_prob(header_loss_rate, "header_loss_rate");
+  check_prob(ack_loss_rate, "ack_loss_rate");
+  check_prob(frame_loss_rate, "frame_loss_rate");
+  check_prob(csi_failure_rate, "csi_failure_rate");
+  check_prob(degenerate_channel_rate, "degenerate_channel_rate");
+  check_rate(node_outage_hz, "node_outage_hz");
+  check_rate(node_recovery_hz, "node_recovery_hz");
+  if (retry_limit < 0) {
+    throw std::invalid_argument(
+        "FaultConfig::retry_limit must be >= 0, got " +
+        std::to_string(retry_limit));
+  }
+  if (node_outage_hz > 0.0 && node_recovery_hz <= 0.0) {
+    throw std::invalid_argument(
+        "FaultConfig::node_recovery_hz must be > 0 when node_outage_hz > 0 "
+        "(crashed nodes would never restart)");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, const Scenario& scenario,
+                             util::Rng rng, const mac::DcfConfig& dcf)
+    : cfg_(cfg), dcf_(dcf), rng_(std::move(rng)), links_(scenario.links) {
+  cfg_.validate();
+  const std::size_t n_nodes = scenario.nodes.size();
+  tx_links_.assign(n_nodes, {});
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    tx_links_[links_[l].tx_node].push_back(l);
+  }
+  LinkState init;
+  init.cw = dcf_.cw_min;
+  link_state_.assign(links_.size(), init);
+  up_.assign(n_nodes, 1);
+  down_since_.assign(n_nodes, 0.0);
+  degen_memo_.assign(links_.size(), -1);
+  stats_.retry_histogram.assign(
+      static_cast<std::size_t>(cfg_.retry_limit) + 1, 0);
+}
+
+void FaultInjector::begin_round() {
+  if (cfg_.degenerate_channel_rate > 0.0) {
+    std::fill(degen_memo_.begin(), degen_memo_.end(),
+              static_cast<signed char>(-1));
+  }
+}
+
+void FaultInjector::advance_outages(double dt_s, double now_s) {
+  if (cfg_.node_outage_hz <= 0.0 || dt_s <= 0.0) return;
+  const double p_down = 1.0 - std::exp(-cfg_.node_outage_hz * dt_s);
+  const double p_up = 1.0 - std::exp(-cfg_.node_recovery_hz * dt_s);
+  for (std::size_t i = 0; i < up_.size(); ++i) {
+    if (up_[i] != 0) {
+      if (rng_.bernoulli(p_down)) {
+        up_[i] = 0;
+        down_since_[i] = now_s;
+        ++stats_.outages;
+      }
+    } else if (rng_.bernoulli(p_up)) {
+      up_[i] = 1;
+      stats_.outage_s.add(now_s - down_since_[i]);
+    }
+  }
+}
+
+void FaultInjector::apply_outage_mask(std::vector<std::uint8_t>& mask,
+                                      double now_s) {
+  if (cfg_.node_outage_hz <= 0.0) return;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    LinkState& st = link_state_[l];
+    const bool blocked =
+        up_[links_[l].tx_node] == 0 || up_[links_[l].rx_node] == 0;
+    if (blocked) {
+      mask[l] = 0;
+      st.blocked = true;
+    } else if (st.blocked) {
+      // The link just came back on the air: recovery time runs from here
+      // to its next ACKed frame (on_frame stops the clock).
+      st.blocked = false;
+      st.recovery_since = now_s;
+    }
+  }
+}
+
+bool FaultInjector::realize_delivery(double per, bool realized_fidelity) {
+  bool ok;
+  if (realized_fidelity) {
+    // Full PHY already realized each stream's CRC; `per` is the failed
+    // fraction. The frame stands when the majority of its streams decoded.
+    ok = per < 0.5;
+  } else if (per <= 0.0) {
+    ok = true;
+  } else if (per >= 1.0) {
+    ok = false;
+  } else {
+    ok = !rng_.bernoulli(per);
+  }
+  if (ok && cfg_.frame_loss_rate > 0.0) {
+    ok = !rng_.bernoulli(cfg_.frame_loss_rate);
+  }
+  return ok;
+}
+
+void FaultInjector::complete_frame(LinkState& st, bool dropped,
+                                   double now_s) {
+  if (!dropped) {
+    const auto k = static_cast<std::size_t>(st.retries);
+    if (k < stats_.retry_histogram.size()) ++stats_.retry_histogram[k];
+    ++stats_.frames_completed;
+    if (st.recovery_since >= 0.0) {
+      stats_.recovery_s.add(now_s - st.recovery_since);
+      st.recovery_since = -1.0;
+    }
+  } else {
+    ++stats_.frames_dropped;
+  }
+  if (st.retries > 0) --n_retrying_;
+  st.retries = 0;
+  st.cw = dcf_.cw_min;
+  st.delivered_once = false;
+}
+
+FaultInjector::FrameVerdict FaultInjector::on_frame(std::size_t link_idx,
+                                                    bool phys_delivered,
+                                                    double now_s) {
+  LinkState& st = link_state_[link_idx];
+  FrameVerdict v;
+  if (st.retries > 0) ++stats_.retransmissions;
+  v.delivered = phys_delivered;
+  v.duplicate = phys_delivered && st.delivered_once;
+  if (phys_delivered) {
+    const bool ack_lost =
+        cfg_.ack_loss_rate > 0.0 && rng_.bernoulli(cfg_.ack_loss_rate);
+    if (!ack_lost) {
+      v.acked = true;
+      complete_frame(st, /*dropped=*/false, now_s);
+      return v;
+    }
+    ++stats_.ack_losses;
+    st.delivered_once = true;
+  }
+  // Un-ACKed (lost frame or lost ACK): the sender waits out the ACK
+  // timeout, escalates its window, and retries — or gives up.
+  if (st.retries >= cfg_.retry_limit) {
+    v.dropped = true;
+    complete_frame(st, /*dropped=*/true, now_s);
+    return v;
+  }
+  if (st.retries == 0) ++n_retrying_;
+  ++st.retries;
+  st.cw = std::min(dcf_.cw_max, st.cw * 2 + 1);
+  return v;
+}
+
+bool FaultInjector::csi_measurement_ok() {
+  if (cfg_.csi_failure_rate <= 0.0) return true;
+  if (rng_.bernoulli(cfg_.csi_failure_rate)) {
+    ++stats_.csi_failures;
+    return false;
+  }
+  return true;
+}
+
+bool FaultInjector::joiner_overhears(std::size_t tx_node) {
+  (void)tx_node;
+  if (cfg_.header_loss_rate <= 0.0) return true;
+  if (rng_.bernoulli(cfg_.header_loss_rate)) {
+    if (cfg_.header_fallback_defer) {
+      ++stats_.header_deferrals;
+    } else {
+      ++stats_.blind_joins;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool FaultInjector::channel_degenerate(std::size_t link_idx) {
+  if (cfg_.degenerate_channel_rate <= 0.0) return false;
+  signed char& memo = degen_memo_[link_idx];
+  if (memo < 0) {
+    memo = rng_.bernoulli(cfg_.degenerate_channel_rate) ? 1 : 0;
+  }
+  return memo != 0;
+}
+
+int FaultInjector::cw_for_tx(std::size_t tx_node) const {
+  int cw = dcf_.cw_min;
+  for (std::size_t l : tx_links_[tx_node]) {
+    const LinkState& st = link_state_[l];
+    if (st.retries > 0) cw = std::max(cw, st.cw);
+  }
+  return cw;
+}
+
+}  // namespace nplus::sim

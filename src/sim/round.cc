@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "linalg/decomp.h"
 #include "linalg/subspace.h"
 #include "nulling/precoder.h"
 #include "phy/esnr.h"
+#include "sim/faults.h"
 #include "util/units.h"
 
 namespace nplus::sim {
@@ -19,6 +21,24 @@ using linalg::cdouble;
 using phy::Mcs;
 
 constexpr std::size_t kSc = World::kSubcarriers;
+
+// Clamps non-finite post-equalization SINRs to zero and reports how many
+// there were. Near-singular evolved channels (and injected degenerate CSI)
+// can push the ZF math to NaN/Inf; a zero SINR takes the same "this stream
+// is undecodable" path every downstream consumer already handles, instead
+// of NaN propagating into eSNR averages and PER tables. Finite values —
+// including legitimate zeros and negatives — pass through untouched, so
+// the fault-free trace is unchanged.
+std::size_t sanitize_sinrs(std::vector<double>& sinrs) {
+  std::size_t n = 0;
+  for (double& s : sinrs) {
+    if (!std::isfinite(s)) {
+      s = 0.0;
+      ++n;
+    }
+  }
+  return n;
+}
 
 }  // namespace
 
@@ -140,6 +160,16 @@ class RoundBuilder {
   // identically whichever mode runs, so a (world, scenario, seed) triple
   // yields the same winners/rates/airtimes at either fidelity.
   util::Rng phy_rng_{0, 0};
+
+  // Fault bookkeeping (cfg_.faults only). A "blind" transmitter missed the
+  // overheard headers but joined anyway (header_fallback_defer off): it
+  // knows no ongoing-receiver constraints, so its precoder nulls nothing.
+  bool blind(std::size_t tx) const {
+    return std::find(blind_txs_.begin(), blind_txs_.end(), tx) !=
+           blind_txs_.end();
+  }
+  std::vector<std::size_t> blind_txs_;
+  std::size_t degen_count_ = 0;
 
   std::vector<ActiveGroup> groups_;
   std::size_t used_dof_ = 0;
@@ -286,15 +316,21 @@ bool RoundBuilder::try_join_with(std::size_t tx, std::size_t m_target) {
   }
 
   // --- Precoder (§3.3) --------------------------------------------------
-  // Ongoing constraints from every active receiver, per subcarrier.
+  // Ongoing constraints from every active receiver, per subcarrier. A
+  // blind joiner (missed headers, fallback off) never learned the ongoing
+  // receivers' unwanted spaces: its constraint list stays empty and its
+  // precoder sprays uncontrolled interference — finalize() prices the
+  // collision into everyone's final SINR.
   std::vector<std::vector<nulling::OngoingReceiver>> ongoing(kSc);
-  for (std::size_t s = 0; s < kSc; ++s) {
-    for (const auto& g : groups_) {
-      for (const auto& l : g.links) {
-        const CMat u_perp =
-            linalg::orthogonal_complement(l.advertised_u[s]).hermitian();
-        ongoing[s].push_back(nulling::OngoingReceiver{
-            w_.reciprocal_channel(tx, l.rx_node, s), u_perp});
+  if (!blind(tx)) {
+    for (std::size_t s = 0; s < kSc; ++s) {
+      for (const auto& g : groups_) {
+        for (const auto& l : g.links) {
+          const CMat u_perp =
+              linalg::orthogonal_complement(l.advertised_u[s]).hermitian();
+          ongoing[s].push_back(nulling::OngoingReceiver{
+              w_.reciprocal_channel(tx, l.rx_node, s), u_perp});
+        }
       }
     }
   }
@@ -396,6 +432,15 @@ bool RoundBuilder::try_join_with(std::size_t tx, std::size_t m_target) {
       const std::vector<double> sinr = zf_stream_sinr(obs);
       sinrs.insert(sinrs.end(), sinr.begin(), sinr.end());
     }
+    // Injected degenerate CSI: this link's measurement came back as
+    // garbage this round. Poison its SINRs so the sanitizer clamps them
+    // and rate selection finds nothing — the link defers instead of
+    // transmitting with a nonsense projection.
+    if (cfg_.faults != nullptr &&
+        cfg_.faults->channel_degenerate(l.link_idx)) {
+      for (double& s : sinrs) s = std::numeric_limits<double>::quiet_NaN();
+    }
+    degen_count_ += sanitize_sinrs(sinrs);
     if (cfg_.rate_control != nullptr) {
       // History-driven adaptation: the transmitter uses its AARF state, not
       // the oracle eSNR — it has no way to measure the post-projection SNR
@@ -522,6 +567,20 @@ void RoundBuilder::finalize(RoundResult& result) {
           }
         }
       }
+      // Near-singular evolved channels can make the final ZF math blow up
+      // even when rate selection looked sane; clamp (and count) before any
+      // eSNR/PER consumer sees it. A non-finite full-PHY model resets to
+      // the zero-gain "undecodable stream" form the scorer already handles.
+      degen_count_ += sanitize_sinrs(sinrs);
+      for (auto& sv : stream_sinr) sanitize_sinrs(sv);
+      for (auto& mv : stream_models) {
+        for (phy::StreamRxModel& m : mv) {
+          if (!std::isfinite(m.sinr) || !std::isfinite(m.noise_var) ||
+              !std::isfinite(std::norm(m.gain))) {
+            m = phy::StreamRxModel{};
+          }
+        }
+      }
       out.final_esnr_db = util::to_db(std::max(
           phy::effective_snr(sinrs, mcs.modulation), 1e-30));
 
@@ -537,9 +596,11 @@ void RoundBuilder::finalize(RoundResult& result) {
           0.0, static_cast<double>(n_sym_body) - lost_syms);
       const double stream_bits =
           usable_syms * static_cast<double>(mcs.n_dbps);
+      out.offered_bits = stream_bits * static_cast<double>(l.n_streams);
       if (stream_bits <= 0.0) {
         out.per = 0.0;  // nothing sent, nothing lost
         out.delivered_bits = 0.0;
+        out.offered_bits = 0.0;
         continue;
       }
 
@@ -578,6 +639,7 @@ void RoundBuilder::finalize(RoundResult& result) {
       out.delivered_bits = delivered;
     }
   }
+  result.degenerate_esnr = degen_count_;
 }
 
 RoundResult RoundBuilder::run() {
@@ -599,8 +661,20 @@ RoundResult RoundBuilder::run() {
     std::size_t tx;
     double contention_s;
     if (cfg_.dcf_contention) {
-      const mac::ContentionOutcome outcome =
-          mac::contend(eligible.size(), rng_, cfg_.airtime.timing);
+      mac::ContentionOutcome outcome;
+      if (cfg_.faults != nullptr && cfg_.faults->cw_escalated()) {
+        // Failure-aware MAC: transmitters mid-retry-chain contend with
+        // their escalated (binary-exponential) windows, everyone else
+        // with cw_min.
+        std::vector<int> cw0;
+        cw0.reserve(eligible.size());
+        for (std::size_t e : eligible) {
+          cw0.push_back(cfg_.faults->cw_for_tx(e));
+        }
+        outcome = mac::contend(cw0, rng_, cfg_.airtime.timing);
+      } else {
+        outcome = mac::contend(eligible.size(), rng_, cfg_.airtime.timing);
+      }
       contention_s = outcome.elapsed_s;
       tx = eligible[outcome.winner];
     } else {
@@ -622,6 +696,25 @@ RoundResult RoundBuilder::run() {
       if (is_first) {
         // Primary contention and the first handshake precede the body.
         primary_overhead_s_ = contention_s + handshake_s;
+        // Control-plane loss: each would-be joiner must decode the ongoing
+        // transmission's data/ACK headers to learn the occupied subspace
+        // (§3.3-3.5). One Bernoulli per candidate, in contention-population
+        // order (deterministic). Misses either defer for the round
+        // (graceful fallback: stock-802.11 behavior) or go on the blind
+        // list and join without nulling constraints.
+        if (cfg_.faults != nullptr) {
+          std::vector<std::size_t> kept;
+          kept.reserve(pending.size());
+          for (std::size_t cand : pending) {
+            if (cfg_.faults->joiner_overhears(cand)) {
+              kept.push_back(cand);
+            } else if (!cfg_.faults->defer_on_header_loss()) {
+              blind_txs_.push_back(cand);
+              kept.push_back(cand);
+            }
+          }
+          pending = std::move(kept);
+        }
       } else {
         // Joiners contend and handshake while the medium is already busy:
         // they only delay their own body start.
@@ -748,11 +841,22 @@ IsolatedTxResult evaluate_isolated_tx(const World& world,
         }
       }
     }
+    result.degenerate_esnr += sanitize_sinrs(sinrs);
+    for (auto& sv : stream_sinr) sanitize_sinrs(sv);
+    for (auto& mv : stream_models) {
+      for (phy::StreamRxModel& m : mv) {
+        if (!std::isfinite(m.sinr) || !std::isfinite(m.noise_var) ||
+            !std::isfinite(std::norm(m.gain))) {
+          m = phy::StreamRxModel{};
+        }
+      }
+    }
     LinkOutcome& out = result.outcomes[d];
     out.streams = dest.n_streams;
     const Mcs* mcs = phy::select_mcs_esnr(sinrs, config.rate_margin_db);
     if (mcs == nullptr) continue;
     out.mcs_index = mcs->index;
+    out.offered_bits = static_cast<double>(8 * config.packet_bytes);
     out.esnr_db = util::to_db(
         std::max(phy::effective_snr(sinrs, mcs->modulation), 1e-30));
     out.final_esnr_db = out.esnr_db;

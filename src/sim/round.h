@@ -27,6 +27,8 @@
 
 namespace nplus::sim {
 
+class FaultInjector;  // sim/faults.h (which includes this header)
+
 // Simulation fidelity of delivery scoring (see phy/link_abstraction.h).
 // Both levels share the identical protocol path — contention, admission,
 // precoding, rate selection — and consume the caller's RNG stream
@@ -95,6 +97,12 @@ struct RoundConfig {
   // controller, feeds it delivery outcomes after each round, and keeps it
   // alive across rounds; nullptr = oracle selection (the paper's §3.4).
   phy::RateController* rate_control = nullptr;
+  // Fault-injection hooks (sim/faults.h): lost overheard headers gate who
+  // may join, degenerate-channel verdicts poison rate selection, and retry
+  // chains escalate the contention windows. The owning session wires this;
+  // nullptr (the default) is the fault-free path, draw-for-draw identical
+  // to the pre-fault engine.
+  FaultInjector* faults = nullptr;
 };
 
 struct LinkOutcome {
@@ -106,6 +114,10 @@ struct LinkOutcome {
   // kFullPhy: realized fraction of this link's streams that failed CRC.
   double per = 1.0;
   double delivered_bits = 0.0;
+  // Bits put on the air by this link (delivered or not): what one whole
+  // frame is worth. The failure-aware session scores throughput/goodput
+  // frame by frame from this instead of the expected-value delivered_bits.
+  double offered_bits = 0.0;
 };
 
 struct RoundResult {
@@ -113,6 +125,9 @@ struct RoundResult {
   std::size_t total_streams = 0;
   std::vector<std::size_t> winner_order;  // tx nodes, join order
   std::vector<LinkOutcome> links;         // indexed like Scenario::links
+  // Non-finite post-equalization SINR observations clamped to zero this
+  // round (near-singular evolved channels, injected degenerate CSI).
+  std::size_t degenerate_esnr = 0;
 };
 
 // Runs one full n+ round. `active_links` (optional; indexed like
@@ -148,6 +163,7 @@ struct IsolatedTxSpec {
 struct IsolatedTxResult {
   double airtime_s = 0.0;
   std::vector<LinkOutcome> outcomes;  // parallel to spec.dests
+  std::size_t degenerate_esnr = 0;    // as RoundResult::degenerate_esnr
 };
 
 IsolatedTxResult evaluate_isolated_tx(const World& world,

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <string>
 
 #include "util/thread_pool.h"
 
@@ -64,6 +66,37 @@ void finish_topology(GeneratedTopology& topo, std::vector<Pt> pts) {
 
 }  // namespace
 
+void GenConfig::validate() const {
+  const auto bad = [](const std::string& what, double v) {
+    throw std::invalid_argument("GenConfig: " + what + ", got " +
+                                std::to_string(v));
+  };
+  if (n_links == 0) {
+    throw std::invalid_argument("GenConfig: n_links must be >= 1 (a "
+                                "zero-node world has nothing to simulate)");
+  }
+  if (!std::isfinite(area_w_m) || area_w_m <= 0.0) {
+    bad("area_w_m must be finite and > 0", area_w_m);
+  }
+  if (!std::isfinite(area_h_m) || area_h_m <= 0.0) {
+    bad("area_h_m must be finite and > 0", area_h_m);
+  }
+  if (!std::isfinite(min_separation_m) || min_separation_m < 0.0) {
+    bad("min_separation_m must be finite and >= 0", min_separation_m);
+  }
+  if (!std::isfinite(min_pair_distance_m) || min_pair_distance_m < 0.0) {
+    bad("min_pair_distance_m must be finite and >= 0", min_pair_distance_m);
+  }
+  if (!std::isfinite(max_pair_distance_m) ||
+      max_pair_distance_m < min_pair_distance_m) {
+    bad("max_pair_distance_m must be finite and >= min_pair_distance_m",
+        max_pair_distance_m);
+  }
+  if (!std::isfinite(cluster_std_m) || cluster_std_m < 0.0) {
+    bad("cluster_std_m must be finite and >= 0", cluster_std_m);
+  }
+}
+
 std::size_t draw_antennas(const AntennaMix& mix, util::Rng& rng) {
   double total = 0.0;
   for (double w : mix.weights) total += std::max(w, 0.0);
@@ -86,6 +119,7 @@ std::vector<std::uint8_t> node_roles(const Scenario& scenario) {
 }
 
 GeneratedTopology generate_topology(const GenConfig& cfg, util::Rng& rng) {
+  cfg.validate();
   GeneratedTopology topo;
   std::vector<Pt> pts;
 

@@ -70,6 +70,11 @@ struct GenConfig {
 
   // kApDownlink: clients per AP (the last AP takes the remainder).
   std::size_t links_per_ap = 2;
+
+  // Rejects zero-link topologies, non-finite / non-positive floor
+  // dimensions, negative separations, and an inverted pair-distance band
+  // with std::invalid_argument. generate_topology calls this on entry.
+  void validate() const;
 };
 
 // A generated world-template: the Scenario (nodes + links), a Testbed whose

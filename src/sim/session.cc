@@ -3,10 +3,84 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
+#include "baselines/dot11n.h"
+#include "mac/airtime.h"
 #include "mac/event_sim.h"
 
 namespace nplus::sim {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what, double v) {
+  throw std::invalid_argument("SessionConfig: " + what + ", got " +
+                              std::to_string(v));
+}
+
+void check_finite_nonneg(double v, const char* name) {
+  if (!std::isfinite(v) || v < 0.0) {
+    reject(std::string(name) + " must be finite and >= 0", v);
+  }
+}
+
+void check_fraction(double v, const char* name) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    reject(std::string(name) + " must be in [0, 1]", v);
+  }
+}
+
+}  // namespace
+
+void SessionConfig::validate() const {
+  check_finite_nonneg(max_duration_s, "max_duration_s");
+  check_finite_nonneg(inter_round_gap_s, "inter_round_gap_s");
+  if (round.packet_bytes == 0) {
+    throw std::invalid_argument("SessionConfig: round.packet_bytes must be"
+                                " >= 1 (a round transmits a packet)");
+  }
+  if (!std::isfinite(round.rate_margin_db)) {
+    reject("round.rate_margin_db must be finite", round.rate_margin_db);
+  }
+  check_finite_nonneg(dynamics.churn.flow_arrival_hz,
+                      "churn.flow_arrival_hz");
+  check_finite_nonneg(dynamics.churn.flow_departure_hz,
+                      "churn.flow_departure_hz");
+  check_finite_nonneg(dynamics.churn.node_leave_hz, "churn.node_leave_hz");
+  check_finite_nonneg(dynamics.churn.node_return_hz,
+                      "churn.node_return_hz");
+  if (!std::isfinite(dynamics.churn.idle_step_s) ||
+      dynamics.churn.idle_step_s <= 0.0) {
+    reject("churn.idle_step_s must be finite and > 0 (the sim clock must "
+           "advance through idle slots)", dynamics.churn.idle_step_s);
+  }
+  check_finite_nonneg(dynamics.mobility.speed_min_mps,
+                      "mobility.speed_min_mps");
+  check_finite_nonneg(dynamics.mobility.speed_max_mps,
+                      "mobility.speed_max_mps");
+  if (dynamics.mobility.speed_min_mps > dynamics.mobility.speed_max_mps) {
+    reject("mobility.speed_min_mps must be <= speed_max_mps",
+           dynamics.mobility.speed_min_mps);
+  }
+  check_finite_nonneg(dynamics.mobility.pause_s, "mobility.pause_s");
+  check_fraction(dynamics.mobility.mobile_fraction,
+                 "mobility.mobile_fraction");
+  if (!std::isfinite(dynamics.evolution.carrier_hz) ||
+      dynamics.evolution.carrier_hz <= 0.0) {
+    reject("evolution.carrier_hz must be finite and > 0",
+           dynamics.evolution.carrier_hz);
+  }
+  check_finite_nonneg(dynamics.evolution.env_doppler_hz,
+                      "evolution.env_doppler_hz");
+  if (!std::isfinite(dynamics.evolution.shadow_decorr_m) ||
+      dynamics.evolution.shadow_decorr_m <= 0.0) {
+    reject("evolution.shadow_decorr_m must be finite and > 0",
+           dynamics.evolution.shadow_decorr_m);
+  }
+  faults.validate();
+}
 
 double jain_index(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
@@ -45,20 +119,27 @@ void take_snapshot(SessionResult& out, const std::vector<double>& link_bits,
 // Final accounting. Session duration: the horizon if one was set (the
 // EventSim advanced its clock to it), otherwise the end of the last
 // round's airtime — the sim clock alone stops at the last round's *start*
-// event.
+// event. `goodput_bits` may alias `link_bits` (fault-free paths, where
+// every delivered frame is also a first delivery).
 void finalize_session(SessionResult& out,
                       const std::vector<double>& link_bits,
+                      const std::vector<double>& goodput_bits,
                       const util::RunningStats& winners_per_round,
                       const util::RunningStats& streams_per_round,
                       double clock_s, double busy_end_s) {
   out.duration_s = std::max(clock_s, busy_end_s);
+  out.per_link_goodput_mbps.assign(link_bits.size(), 0.0);
   if (out.duration_s > 0.0) {
     double bits = 0.0;
+    double good = 0.0;
     for (std::size_t l = 0; l < link_bits.size(); ++l) {
       out.per_link_mbps[l] = link_bits[l] / out.duration_s / 1e6;
+      out.per_link_goodput_mbps[l] = goodput_bits[l] / out.duration_s / 1e6;
       bits += link_bits[l];
+      good += goodput_bits[l];
     }
     out.total_mbps = bits / out.duration_s / 1e6;
+    out.goodput_mbps = good / out.duration_s / 1e6;
   }
   out.jain = jain_index(out.per_link_mbps);
   out.mean_winners_per_round = winners_per_round.mean();
@@ -69,8 +150,12 @@ void finalize_session(SessionResult& out,
 
 SessionResult run_session(const World& world, const Scenario& scenario,
                           util::Rng& rng, const SessionConfig& config) {
-  // A dynamic session mutates its world; use the World& overload.
+  config.validate();
+  // A dynamic, faulty, or baseline-scheme session needs the live driver;
+  // use the World& overload.
   assert(!config.dynamics.active());
+  assert(!config.faults.enabled());
+  assert(config.scheme == Scheme::kNplus);
   SessionResult out;
   const std::size_t n_links = scenario.links.size();
   out.per_link_mbps.assign(n_links, 0.0);
@@ -117,8 +202,8 @@ SessionResult run_session(const World& world, const Scenario& scenario,
     sim.run();
   }
 
-  finalize_session(out, link_bits, winners_per_round, streams_per_round,
-                   sim.now(), busy_end_s);
+  finalize_session(out, link_bits, link_bits, winners_per_round,
+                   streams_per_round, sim.now(), busy_end_s);
   out.mean_active_links = static_cast<double>(n_links);
   return out;
 }
@@ -131,16 +216,33 @@ namespace {
 // re-measurement for the links that exchanged handshakes/ACKs) after it.
 // Every dynamics draw comes from one stream forked off the session rng at
 // start, so the trace is a pure function of (world seed, session seed).
-SessionResult run_dynamic_session(World& world, const Scenario& scenario,
-                                  util::Rng& rng,
-                                  const SessionConfig& config) {
+//
+// This driver also hosts the failure-aware MAC (config.faults): a
+// FaultInjector with its own forked stream masks crashed nodes out of
+// contention, gates joiners on overheard headers, realizes each
+// transmitted frame's fate, and runs per-frame retry chains — un-ACKed
+// rounds stretch by the ACK timeout via a cancellable EventSim timer
+// (cancelled whenever the round fully ACKed), retries re-enter contention
+// with escalated windows, and goodput is scored separately from
+// throughput. It also hosts the scheme switch: Scheme::kDot11n swaps
+// run_nplus_round for the isolated-transmission baseline round under the
+// same session machinery, so fault sweeps compare schemes like for like.
+SessionResult run_live_session(World& world, const Scenario& scenario,
+                               util::Rng& rng, const SessionConfig& config) {
   SessionResult out;
   const std::size_t n_links = scenario.links.size();
   out.per_link_mbps.assign(n_links, 0.0);
+  out.per_link_goodput_mbps.assign(n_links, 0.0);
   if (config.n_rounds == 0) return out;
 
   const DynamicsConfig& dyn = config.dynamics;
   util::Rng dyn_rng = rng.fork(0xD1AA);
+  // Forked ONLY when faults are on: a fork costs two parent draws, and a
+  // faults-off session must keep the pre-fault draw sequence exactly.
+  std::optional<FaultInjector> inj;
+  if (config.faults.enabled()) {
+    inj.emplace(config.faults, scenario, rng.fork(0xFA17));
+  }
 
   std::vector<channel::Location> initial;
   initial.reserve(world.n_nodes());
@@ -157,14 +259,17 @@ SessionResult run_dynamic_session(World& world, const Scenario& scenario,
   phy::RateController rate_ctl(dyn.rate_control);
   RoundConfig round_cfg = config.round;
   if (dyn.use_rate_control) round_cfg.rate_control = &rate_ctl;
+  if (inj) round_cfg.faults = &*inj;
 
   mac::EventSim sim;
   std::vector<double> link_bits(n_links, 0.0);
+  std::vector<double> goodput_bits(n_links, 0.0);
   util::RunningStats winners_per_round;
   util::RunningStats streams_per_round;
   util::RunningStats active_links;
   double busy_end_s = 0.0;
   double last_step_t = 0.0;  // sim time the world state is current for
+  const double ack_timeout = mac::ack_timeout_s(round_cfg.airtime);
 
   const auto maybe_snapshot_and_chain = [&](std::function<void()>& self) {
     if (config.snapshot_every > 0 &&
@@ -208,14 +313,22 @@ SessionResult run_dynamic_session(World& world, const Scenario& scenario,
                                                                       : 0);
       }
     }
+    // Fault step: per-round memos reset, the node crash/restart process
+    // advances over the same dt the physical world just covered, and links
+    // with a crashed endpoint vanish from this round's mask.
+    if (inj) {
+      inj->begin_round();
+      inj->advance_outages(dt, sim.now());
+    }
     std::size_t n_active = 0;
     for (std::size_t l = 0; l < n_links; ++l) {
       mask[l] = (flow_on[l] != 0 && present[scenario.links[l].tx_node] &&
                  present[scenario.links[l].rx_node])
                     ? 1
                     : 0;
-      n_active += mask[l];
     }
+    if (inj) inj->apply_outage_mask(mask, sim.now());
+    for (std::size_t l = 0; l < n_links; ++l) n_active += mask[l];
     active_links.add(static_cast<double>(n_active));
 
     if (n_active == 0) {
@@ -232,29 +345,87 @@ SessionResult run_dynamic_session(World& world, const Scenario& scenario,
     }
 
     const RoundResult res =
-        run_nplus_round(world, scenario, rng, round_cfg, &mask);
+        config.scheme == Scheme::kDot11n
+            ? baselines::run_dot11n_round(world, scenario, rng, round_cfg,
+                                          &mask)
+            : run_nplus_round(world, scenario, rng, round_cfg, &mask);
     out.rounds += 1;
     winners_per_round.add(static_cast<double>(res.winner_order.size()));
     streams_per_round.add(static_cast<double>(res.total_streams));
     out.round_duration.add(res.duration_s);
-    for (std::size_t l = 0; l < n_links; ++l) {
-      link_bits[l] += res.links[l].delivered_bits;
-    }
+    out.degenerate_esnr += res.degenerate_esnr;
+    if (inj) inj->add_degenerate_esnr(res.degenerate_esnr);
     busy_end_s = sim.now() + res.duration_s;
+
+    // --- Delivery accounting. Fault-free: the round's (expected or
+    // realized) delivered bits, goodput == throughput. Fault-aware: each
+    // transmitted frame is realized whole — delivered or not, ACKed or
+    // not — and scored frame by frame; retransmitted deliveries of a frame
+    // the receiver already had (lost ACKs) count toward throughput but not
+    // goodput.
+    bool any_unacked = false;
+    if (!inj) {
+      for (std::size_t l = 0; l < n_links; ++l) {
+        link_bits[l] += res.links[l].delivered_bits;
+        goodput_bits[l] += res.links[l].delivered_bits;
+      }
+    } else {
+      for (std::size_t l = 0; l < n_links; ++l) {
+        const LinkOutcome& o = res.links[l];
+        if (o.streams == 0 || o.mcs_index < 0 || o.offered_bits <= 0.0) {
+          continue;  // link did not put a frame on the air
+        }
+        const bool phys = inj->realize_delivery(
+            o.per, round_cfg.fidelity == Fidelity::kFullPhy);
+        const FaultInjector::FrameVerdict v =
+            inj->on_frame(l, phys, busy_end_s);
+        if (v.delivered) {
+          link_bits[l] += o.offered_bits;
+          if (!v.duplicate) goodput_bits[l] += o.offered_bits;
+        }
+        // Any un-ACKed frame — lost body, lost ACK, or the final attempt
+        // of a dropped chain — makes its sender sit out the ACK timeout.
+        any_unacked |= !v.acked;
+      }
+    }
 
     // --- Feedback step: links that transmitted learn from it. Their
     // transmitters saw ACKs (AARF observations) and heard fresh preambles
     // from their receivers (reciprocal CSI re-measured); every other
-    // belief in the cell keeps aging toward uselessness.
+    // belief in the cell keeps aging toward uselessness. An injected CSI
+    // failure silently loses one re-measurement: the belief keeps aging.
     for (std::size_t l = 0; l < n_links; ++l) {
       const LinkOutcome& o = res.links[l];
       if (o.streams == 0 || o.mcs_index < 0) continue;
       if (dyn.use_rate_control) rate_ctl.observe(l, o.per < 0.5);
-      world.refresh_csi(scenario.links[l].tx_node,
-                        scenario.links[l].rx_node, dyn_rng);
+      if (!inj || inj->csi_measurement_ok()) {
+        world.refresh_csi(scenario.links[l].tx_node,
+                          scenario.links[l].rx_node, dyn_rng);
+      }
     }
 
-    maybe_snapshot_and_chain(round_fn);
+    if (inj && any_unacked) {
+      // Senders of un-ACKed frames wait out the ACK timeout before the
+      // medium is contended again; the timer extends the busy period.
+      const double timeout_at = busy_end_s + ack_timeout;
+      sim.schedule_at(timeout_at, [&, timeout_at] {
+        busy_end_s = timeout_at;
+        maybe_snapshot_and_chain(round_fn);
+      });
+    } else if (inj) {
+      // Fully ACKed round: arm the same timeout, then cancel it — the
+      // concurrent ACK arrived first, so the timer must neither run nor
+      // age the clock (the cancellable-timer contract this session's
+      // accounting leans on).
+      const mac::TimerId tid = sim.schedule_at(
+          busy_end_s + ack_timeout, [&] {
+            assert(false && "cancelled ACK timeout must never fire");
+          });
+      sim.cancel(tid);
+      maybe_snapshot_and_chain(round_fn);
+    } else {
+      maybe_snapshot_and_chain(round_fn);
+    }
   };
 
   sim.schedule_at(0.0, round_fn);
@@ -264,9 +435,10 @@ SessionResult run_dynamic_session(World& world, const Scenario& scenario,
     sim.run();
   }
 
-  finalize_session(out, link_bits, winners_per_round, streams_per_round,
-                   sim.now(), busy_end_s);
+  finalize_session(out, link_bits, goodput_bits, winners_per_round,
+                   streams_per_round, sim.now(), busy_end_s);
   out.mean_active_links = active_links.mean();
+  if (inj) out.faults = inj->stats();
   return out;
 }
 
@@ -274,13 +446,16 @@ SessionResult run_dynamic_session(World& world, const Scenario& scenario,
 
 SessionResult run_session(World& world, const Scenario& scenario,
                           util::Rng& rng, const SessionConfig& config) {
-  if (!config.dynamics.active()) {
-    // Exact static path (same draws, same trace): dynamics-off sessions on
-    // a mutable world are indistinguishable from the const overload.
+  config.validate();
+  if (!config.dynamics.active() && !config.faults.enabled() &&
+      config.scheme == Scheme::kNplus) {
+    // Exact static path (same draws, same trace): dynamics-off, fault-free
+    // n+ sessions on a mutable world are indistinguishable from the const
+    // overload.
     return run_session(static_cast<const World&>(world), scenario, rng,
                        config);
   }
-  return run_dynamic_session(world, scenario, rng, config);
+  return run_live_session(world, scenario, rng, config);
 }
 
 }  // namespace nplus::sim

@@ -15,6 +15,7 @@
 
 #include "channel/evolution.h"
 #include "phy/rate_control.h"
+#include "sim/faults.h"
 #include "sim/mobility.h"
 #include "sim/round.h"
 #include "util/stats.h"
@@ -70,6 +71,15 @@ struct DynamicsConfig {
   }
 };
 
+// Which MAC scheme a session's rounds run. kDot11n exists so fault sweeps
+// can put n+ and the stock baseline under the *identical* fault plan and
+// session accounting (bench/fault_sweep.cc) — it is the same 802.11n round
+// the RoundFn baseline evaluates, in the session engine's shape.
+enum class Scheme {
+  kNplus,
+  kDot11n,
+};
+
 struct SessionConfig {
   // Rounds to simulate (a round = one n+ transmission opportunity).
   std::size_t n_rounds = 200;
@@ -97,6 +107,20 @@ struct SessionConfig {
   // rates). All-off by default; when active() the session needs the
   // mutable-World overload of run_session below.
   DynamicsConfig dynamics{};
+  // MAC scheme the rounds run (see Scheme). kDot11n needs the mutable-World
+  // overload (it shares the live-session driver).
+  Scheme scheme = Scheme::kNplus;
+  // Fault injection + failure-aware MAC (sim/faults.h). Disabled by
+  // default; enabled() routes the session through the live driver with a
+  // FaultInjector wired into every round — per-frame retry chains, ACK
+  // timeouts, goodput-vs-throughput accounting. Disabled sessions take the
+  // EXACT pre-fault path: same draws, bit-identical traces (goldens).
+  FaultConfig faults{};
+
+  // Rejects NaN/negative durations and rates, zero-probability nonsense,
+  // and invalid fault plans with std::invalid_argument (clear message)
+  // instead of silent UB. run_session calls this on entry.
+  void validate() const;
 };
 
 // Cumulative state at a snapshot point (taken at a round's end).
@@ -122,6 +146,19 @@ struct SessionResult {
   // mean_active_links equals the link count (everything is always on).
   std::size_t idle_rounds = 0;     // slots where churn left no active link
   double mean_active_links = 0.0;  // mean churn-mask popcount per round
+
+  // --- Failure-aware accounting -----------------------------------------
+  // Throughput (total_mbps / per_link_mbps) counts every bit the receiver
+  // got, including retransmissions of frames it already had (lost-ACK
+  // double deliveries). Goodput counts each frame once. With faults
+  // disabled the two are identical by construction.
+  double goodput_mbps = 0.0;
+  std::vector<double> per_link_goodput_mbps;
+  // Non-finite eSNR observations clamped across the session (degenerate /
+  // near-singular channels) — the NaN guard's audit trail.
+  std::size_t degenerate_esnr = 0;
+  // Retry/drop/outage/recovery counters (all-zero with faults disabled).
+  FaultStats faults;
 };
 
 // Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative rates:
@@ -133,8 +170,10 @@ double jain_index(const std::vector<double>& xs);
 // in `rng` (rounds consume the stream in round order), so forked streams
 // make whole sessions reproducible under parallel dispatch.
 //
-// Static-world overload: requires config.dynamics.active() == false
-// (asserted) — an immutable world cannot move.
+// Static-world overload: requires config.dynamics.active() == false,
+// config.faults.enabled() == false, and scheme == kNplus (asserted) — an
+// immutable world cannot move, and the failure-aware MAC needs the live
+// driver below.
 SessionResult run_session(const World& world, const Scenario& scenario,
                           util::Rng& rng, const SessionConfig& config);
 
@@ -147,7 +186,17 @@ SessionResult run_session(const World& world, const Scenario& scenario,
 // keeps aging). All dynamics randomness comes from a single stream forked
 // off `rng` at session start, so the trace is reproducible from (world
 // seed, session seed) exactly like the static path. With dynamics
-// inactive this overload IS the static path — same draws, same trace.
+// inactive, faults disabled, and the n+ scheme this overload IS the static
+// path — same draws, same trace.
+//
+// With config.faults.enabled(), a FaultInjector (own forked stream) rides
+// the whole session: node outages mask links out of contention, header
+// losses gate joiners, every transmitted frame is realized
+// delivered/lost, un-ACKed frames cost an ACK timeout (cancellable
+// EventSim timer — cancelled whenever the round fully ACKed) and re-enter
+// contention with escalated windows until ACKed or dropped at the retry
+// limit. SessionResult then separates goodput from throughput and carries
+// the FaultStats counters.
 SessionResult run_session(World& world, const Scenario& scenario,
                           util::Rng& rng, const SessionConfig& config);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "phy/ofdm_params.h"
 #include "util/units.h"
@@ -35,6 +37,30 @@ World::World(const channel::Testbed& testbed,
       testbed_(testbed),
       locations_(locations),
       roles_(roles) {
+  // Config sanity: a NaN calibration error or a zero FFT would not crash
+  // here — it would silently poison every eSNR downstream. Reject loudly.
+  if (nodes.empty()) {
+    throw std::invalid_argument("World: zero-node world (empty NodeSpec"
+                                " list); nothing to simulate");
+  }
+  if (!std::isfinite(config.calibration_std) ||
+      config.calibration_std < 0.0) {
+    throw std::invalid_argument(
+        "World: calibration_std must be finite and >= 0, got " +
+        std::to_string(config.calibration_std));
+  }
+  if (!std::isfinite(config.estimation_noise_scale) ||
+      config.estimation_noise_scale < 0.0) {
+    throw std::invalid_argument(
+        "World: estimation_noise_scale must be finite and >= 0, got " +
+        std::to_string(config.estimation_noise_scale));
+  }
+  if (config.fft_size == 0 ||
+      (config.fft_size & (config.fft_size - 1)) != 0) {
+    throw std::invalid_argument(
+        "World: fft_size must be a nonzero power of two, got " +
+        std::to_string(config.fft_size));
+  }
   assert(nodes.size() == locations.size());
   assert(roles.empty() || roles.size() == nodes.size());
   const std::size_t n = nodes.size();

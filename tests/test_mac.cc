@@ -76,6 +76,78 @@ TEST(EventSim, AdvancesClockToHorizonWhenQueueDrains) {
   EXPECT_DOUBLE_EQ(sim.now(), 12.0);
 }
 
+TEST(EventSim, CancelPendingEventNeverRuns) {
+  EventSim sim;
+  int fired = 0;
+  const TimerId a = sim.schedule_at(1.0, [&] { fired += 1; });
+  sim.schedule_at(2.0, [&] { fired += 10; });
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 1u);
+  // Double-cancel is a safe no-op.
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  // A cancelled event is a tombstone: popping it must NOT advance the
+  // clock (t=1.0 here), only live events do (t=2.0).
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(EventSim, CancelledTailEventDoesNotAdvanceClock) {
+  // The ACK-timeout pattern: arm a timeout beyond the current event, then
+  // cancel it when the ACK wins the race. The dead timer must not drag the
+  // clock to its (later) deadline under a default run().
+  EventSim sim;
+  sim.schedule_at(1.0, [] {});
+  const TimerId timeout = sim.schedule_at(5.0, [] {
+    FAIL() << "cancelled timeout fired";
+  });
+  EXPECT_TRUE(sim.cancel(timeout));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EventSim, CancelAfterFireReturnsFalse) {
+  EventSim sim;
+  TimerId id = 0;
+  id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));          // already fired
+  EXPECT_FALSE(sim.cancel(id + 1000));   // never scheduled
+}
+
+TEST(EventSim, CancelThenRescheduleKeepsOrder) {
+  // Regression for the cancel-then-fire race: cancelling an event and
+  // scheduling a replacement at the same instant must run the replacement
+  // exactly once, in FIFO order with its neighbors.
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  const TimerId dead = sim.schedule_at(2.0, [&] { order.push_back(99); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.cancel(dead));
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(EventSim, ClearDropsCancellationState) {
+  EventSim sim;
+  const TimerId id = sim.schedule_at(1.0, [] {});
+  sim.cancel(id);
+  sim.clear();
+  EXPECT_EQ(sim.pending(), 0u);
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(EventSim, DefaultRunKeepsClockAtLastEvent) {
   // The kNever default keeps the historical "clock stops at the last
   // executed event" behavior.
