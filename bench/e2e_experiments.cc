@@ -56,11 +56,16 @@ struct Timing {
   bool matches_serial = true;
 };
 
-}  // namespace
+constexpr const char* kUsage = "[output.json] [--threads N]";
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace nplus;
-  util::init_threads_from_cli(argc, argv);
+  util::init_threads_from_cli(argc, argv, /*strict=*/true);
+  util::reject_unknown_flags(argc, argv);
+  if (argc > 2) {
+    throw util::UsageError("expected at most one positional argument "
+                           "(the output path)");
+  }
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_e2e.json";
 
   const channel::Testbed testbed;
@@ -178,4 +183,10 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return all_same ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nplus::util::cli_main(argc, argv, kUsage, run_bench);
 }

@@ -94,19 +94,18 @@ void json_result(FILE* f, const sim::SessionResult& r, const char* indent) {
       r.faults.drop_rate());
 }
 
-}  // namespace
+constexpr const char* kUsage = "[output.json] [--threads N] [--smoke]";
 
-int main(int argc, char** argv) {
-  const std::size_t n_threads = util::init_threads_from_cli(argc, argv);
-  bool smoke = false;
-  std::string out_path = "BENCH_faults.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      out_path = argv[i];
-    }
+int run_bench(int argc, char** argv) {
+  const std::size_t n_threads =
+      util::init_threads_from_cli(argc, argv, /*strict=*/true);
+  const bool smoke = util::take_flag(argc, argv, "--smoke");
+  util::reject_unknown_flags(argc, argv);
+  if (argc > 2) {
+    throw util::UsageError("expected at most one positional argument "
+                           "(the output path)");
   }
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_faults.json";
   const std::uint64_t kSeed = 4242;
   const std::size_t n_pairs = smoke ? 6 : 12;
   const std::size_t n_rounds = smoke ? 16 : 80;
@@ -257,4 +256,10 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nplus::util::cli_main(argc, argv, kUsage, run_bench);
 }

@@ -143,19 +143,17 @@ void json_mode(FILE* f, const char* name, const ModeRun& m,
                m.result.mean_winners_per_round);
 }
 
-}  // namespace
+constexpr const char* kUsage = "[output.json] [--threads N] [--smoke]";
 
-int main(int argc, char** argv) {
-  util::init_threads_from_cli(argc, argv);
-  bool smoke = false;
-  std::string out_path = "BENCH_fidelity.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      out_path = argv[i];
-    }
+int run_bench(int argc, char** argv) {
+  util::init_threads_from_cli(argc, argv, /*strict=*/true);
+  const bool smoke = util::take_flag(argc, argv, "--smoke");
+  util::reject_unknown_flags(argc, argv);
+  if (argc > 2) {
+    throw util::UsageError("expected at most one positional argument "
+                           "(the output path)");
   }
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fidelity.json";
   const std::uint64_t kSeed = 42;
   bool all_traces_identical = true;
 
@@ -337,4 +335,10 @@ int main(int argc, char** argv) {
               "(%.1fx scoring-only)\nwrote %s\n",
               e2e_speedup, big.speedup(), out_path.c_str());
   return all_traces_identical ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nplus::util::cli_main(argc, argv, kUsage, run_bench);
 }

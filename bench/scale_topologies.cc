@@ -8,6 +8,16 @@
 // per named stress preset. Writes BENCH_scale.json.
 //
 //   ./scale_topologies [output.json] [--threads N] [--smoke]
+//                      [--checkpoint FILE] [--checkpoint-every K]
+//                      [--resume FILE] [--watchdog SECONDS] [--retries N]
+//                      [--kill-after N]
+//
+// The sweep runs under sim::CheckpointedRunner: a throwing/hung item is
+// quarantined (exit 3, report on stderr) instead of aborting the bench,
+// --checkpoint persists completed items so --resume FILE restarts a killed
+// sweep where it died, and --kill-after N is the CI chaos hook (hard-exit
+// 42 once N items are checkpointed). A resumed run's JSON is byte-identical
+// to an uninterrupted one.
 //
 // Determinism: every item's randomness is forked from the master seed before
 // dispatch (sim::run_generated_sessions), and the JSON contains only
@@ -21,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint_runner.h"
 #include "sim/scenario_gen.h"
 #include "sim/session.h"
 #include "util/cli.h"
@@ -81,20 +92,45 @@ void json_session(FILE* f, const nplus::sim::SessionResult& s,
                last ? "" : ",");
 }
 
-}  // namespace
+constexpr const char* kUsage =
+    "[output.json] [--threads N] [--smoke] [--checkpoint FILE] "
+    "[--checkpoint-every K] [--resume FILE] [--watchdog SECONDS] "
+    "[--retries N] [--kill-after N]";
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace nplus;
-  util::init_threads_from_cli(argc, argv);
-  bool smoke = false;
-  std::string out_path = "BENCH_scale.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      out_path = argv[i];
-    }
+  util::init_threads_from_cli(argc, argv, /*strict=*/true);
+  sim::RunnerConfig rcfg;
+  if (const auto v = util::take_option(argc, argv, "--checkpoint")) {
+    rcfg.checkpoint_path = *v;
   }
+  if (const auto v = util::take_option(argc, argv, "--resume")) {
+    rcfg.checkpoint_path = *v;
+    rcfg.resume = true;
+  }
+  if (const auto v =
+          util::take_size_option(argc, argv, "--checkpoint-every")) {
+    rcfg.checkpoint_every = *v;
+  }
+  if (const auto v = util::take_double_option(argc, argv, "--watchdog")) {
+    rcfg.supervisor.watchdog_s = *v;
+  }
+  if (const auto v = util::take_size_option(argc, argv, "--retries")) {
+    rcfg.supervisor.max_attempts = 1 + static_cast<int>(*v);
+  }
+  if (const auto v = util::take_size_option(argc, argv, "--kill-after")) {
+    rcfg.kill_after = *v;
+  }
+  if (rcfg.kill_after > 0 && rcfg.checkpoint_path.empty()) {
+    throw util::UsageError("--kill-after requires --checkpoint FILE");
+  }
+  const bool smoke = util::take_flag(argc, argv, "--smoke");
+  util::reject_unknown_flags(argc, argv);
+  if (argc > 2) {
+    throw util::UsageError("expected at most one positional argument "
+                           "(the output path)");
+  }
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
 
   const std::uint64_t kSeed = 7;
   // Rounds shrink with N: per-round cost grows with contention, and the
@@ -131,9 +167,17 @@ int main(int argc, char** argv) {
     }
   }
   const double t0 = now_s();
-  const std::vector<sim::SessionResult> all =
-      sim::run_generated_sessions(batch, kSeed);
+  sim::CheckpointedRunner runner(batch, kSeed, rcfg);
+  const sim::SweepOutcome outcome = runner.run();
+  const std::vector<sim::SessionResult>& all = outcome.results;
   const double sweep_wall_s = now_s() - t0;
+  if (outcome.resumed > 0) {
+    std::printf("resumed %zu/%zu items from %s\n", outcome.resumed,
+                all.size(), rcfg.checkpoint_path.c_str());
+  }
+  if (!outcome.report.all_ok()) {
+    std::fputs(outcome.report.summary().c_str(), stderr);
+  }
   {
     std::size_t next = 0;
     for (SweepPoint& p : points) {
@@ -220,5 +264,13 @@ int main(int argc, char** argv) {
                deterministic ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+  // 3 = quarantined item(s): the JSON above holds partial results only.
+  if (!outcome.report.all_ok()) return 3;
   return deterministic ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nplus::util::cli_main(argc, argv, kUsage, run_bench);
 }

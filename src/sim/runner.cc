@@ -1,6 +1,7 @@
 #include "sim/runner.h"
 
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "util/thread_pool.h"
@@ -16,6 +17,69 @@ namespace {
 struct PlacementScratch {
   std::vector<double> bits;
 };
+
+// One placement's full evaluation — world redraw loop plus every method's
+// round loop — shared verbatim between the bare and the supervised harness
+// so the two stay draw-for-draw identical. `cancel` (nullptr on the bare
+// path) is polled between rounds; a fired token throws util::TimeoutError
+// so the supervisor can quarantine the placement as timed out.
+void evaluate_placement(const channel::Testbed& testbed,
+                        const Scenario& scenario,
+                        const ExperimentConfig& config,
+                        const std::vector<RoundFn>& methods, std::size_t p,
+                        util::Rng& placement_rng, PlacementScratch& scratch,
+                        const util::CancelToken* cancel,
+                        std::vector<MethodResult>& results) {
+  // Draw placements until every traffic pair is alive (or give up and
+  // accept the last draw).
+  std::optional<World> world;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const std::vector<std::size_t> locations =
+        testbed.random_placement(scenario.nodes.size(), placement_rng);
+    world.emplace(testbed, scenario.nodes, locations, placement_rng,
+                  config.world);
+    bool alive = true;
+    for (const auto& link : scenario.links) {
+      if (world->link_snr_db(link.tx_node, link.rx_node) <
+          config.min_pair_snr_db) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) break;
+  }
+
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    util::Rng round_rng = placement_rng.fork(1000 + m);
+    double total_time = 0.0;
+    scratch.bits.assign(scenario.links.size(), 0.0);
+    for (std::size_t r = 0; r < config.rounds_per_placement; ++r) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        throw util::TimeoutError(
+            "placement " + std::to_string(p) +
+            " cancelled by watchdog (method " + std::to_string(m) +
+            ", round " + std::to_string(r) + ")");
+      }
+      const GenericRound round = methods[m](*world, round_rng);
+      total_time += round.duration_s;
+      for (std::size_t l = 0;
+           l < scratch.bits.size() && l < round.delivered_bits.size(); ++l) {
+        scratch.bits[l] += round.delivered_bits[l];
+      }
+    }
+    ThroughputSample sample;
+    sample.per_link_mbps.resize(scratch.bits.size());
+    double total_bits = 0.0;
+    for (std::size_t l = 0; l < scratch.bits.size(); ++l) {
+      sample.per_link_mbps[l] =
+          total_time > 0.0 ? scratch.bits[l] / total_time / 1e6 : 0.0;
+      total_bits += scratch.bits[l];
+    }
+    sample.total_mbps =
+        total_time > 0.0 ? total_bits / total_time / 1e6 : 0.0;
+    results[m].samples[p] = std::move(sample);
+  }
+}
 
 }  // namespace
 
@@ -36,59 +100,15 @@ std::vector<MethodResult> run_experiment(
     placement_rngs.push_back(master.fork(p + 1));
   }
 
-  auto evaluate_placement = [&](std::size_t p, PlacementScratch& scratch) {
-    util::Rng& placement_rng = placement_rngs[p];
-
-    // Draw placements until every traffic pair is alive (or give up and
-    // accept the last draw).
-    std::optional<World> world;
-    for (int attempt = 0; attempt < 50; ++attempt) {
-      const std::vector<std::size_t> locations =
-          testbed.random_placement(scenario.nodes.size(), placement_rng);
-      world.emplace(testbed, scenario.nodes, locations, placement_rng,
-                    config.world);
-      bool alive = true;
-      for (const auto& link : scenario.links) {
-        if (world->link_snr_db(link.tx_node, link.rx_node) <
-            config.min_pair_snr_db) {
-          alive = false;
-          break;
-        }
-      }
-      if (alive) break;
-    }
-
-    for (std::size_t m = 0; m < methods.size(); ++m) {
-      util::Rng round_rng = placement_rng.fork(1000 + m);
-      double total_time = 0.0;
-      scratch.bits.assign(scenario.links.size(), 0.0);
-      for (std::size_t r = 0; r < config.rounds_per_placement; ++r) {
-        const GenericRound round = methods[m](*world, round_rng);
-        total_time += round.duration_s;
-        for (std::size_t l = 0; l < scratch.bits.size() &&
-                                l < round.delivered_bits.size();
-             ++l) {
-          scratch.bits[l] += round.delivered_bits[l];
-        }
-      }
-      ThroughputSample sample;
-      sample.per_link_mbps.resize(scratch.bits.size());
-      double total_bits = 0.0;
-      for (std::size_t l = 0; l < scratch.bits.size(); ++l) {
-        sample.per_link_mbps[l] =
-            total_time > 0.0 ? scratch.bits[l] / total_time / 1e6 : 0.0;
-        total_bits += scratch.bits[l];
-      }
-      sample.total_mbps =
-          total_time > 0.0 ? total_bits / total_time / 1e6 : 0.0;
-      results[m].samples[p] = std::move(sample);
-    }
+  auto body = [&](std::size_t p, PlacementScratch& scratch) {
+    evaluate_placement(testbed, scenario, config, methods, p,
+                       placement_rngs[p], scratch, nullptr, results);
   };
 
   auto dispatch = [&](util::ThreadPool& pool) {
     pool.parallel_for_ctx(
         0, config.n_placements,
-        [](std::size_t) { return PlacementScratch{}; }, evaluate_placement);
+        [](std::size_t) { return PlacementScratch{}; }, body);
   };
   if (config.n_threads == 0) {
     dispatch(util::ThreadPool::global());
@@ -97,6 +117,43 @@ std::vector<MethodResult> run_experiment(
     dispatch(pool);
   }
   return results;
+}
+
+SupervisedExperiment run_experiment_supervised(
+    const channel::Testbed& testbed, const Scenario& scenario,
+    const ExperimentConfig& config, const std::vector<RoundFn>& methods,
+    const util::SupervisorConfig& supervisor) {
+  SupervisedExperiment out;
+  out.methods.resize(methods.size());
+  for (auto& r : out.methods) r.samples.resize(config.n_placements);
+  out.completed.assign(config.n_placements, 0);
+
+  // Saved (immutable) per-placement streams instead of live Rngs: a retry
+  // must restart from the exact state the first attempt saw, and fork()
+  // advances its parent, so each attempt restores a pristine copy.
+  util::Rng master(config.seed);
+  std::vector<util::Rng::State> placement_streams;
+  placement_streams.reserve(config.n_placements);
+  for (std::size_t p = 0; p < config.n_placements; ++p) {
+    placement_streams.push_back(master.fork(p + 1).save());
+  }
+
+  util::SupervisorConfig sup = supervisor;
+  if (sup.n_threads == 0) sup.n_threads = config.n_threads;
+  if (sup.stream_label.empty()) {
+    sup.stream_label = "seed " + std::to_string(config.seed);
+  }
+
+  util::Supervisor sv(sup);
+  out.report = sv.run(
+      config.n_placements, [&](std::size_t p, util::CancelToken& token) {
+        util::Rng placement_rng = util::Rng::restore(placement_streams[p]);
+        PlacementScratch scratch;
+        evaluate_placement(testbed, scenario, config, methods, p,
+                           placement_rng, scratch, &token, out.methods);
+        out.completed[p] = 1;
+      });
+  return out;
 }
 
 RoundFn make_nplus_round_fn(const Scenario& scenario,

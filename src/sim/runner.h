@@ -7,11 +7,13 @@
 // (Fig. 13's x axis) are meaningful paired comparisons.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "channel/testbed.h"
 #include "sim/round.h"
+#include "util/supervisor.h"
 
 namespace nplus::sim {
 
@@ -65,5 +67,29 @@ std::vector<MethodResult> run_experiment(
 // Adapter: the n+ protocol as a RoundFn.
 RoundFn make_nplus_round_fn(const Scenario& scenario,
                             const RoundConfig& config);
+
+// --- Supervised variant --------------------------------------------------
+//
+// run_experiment under a util::Supervisor: a placement whose evaluation
+// throws is quarantined into the FailureReport instead of aborting the
+// whole experiment (its samples stay zeroed for every method, and
+// completed[p] == 0 flags them), an optional watchdog cancels placements
+// past their wall-clock budget (the round loop polls the token between
+// rounds), and TransientError attempts are retried from a pristine copy of
+// the placement's pre-forked stream. A run in which nothing fails produces
+// samples identical to run_experiment — same forks, same write-by-index.
+struct SupervisedExperiment {
+  std::vector<MethodResult> methods;       // as run_experiment returns
+  std::vector<std::uint8_t> completed;     // per placement: samples valid?
+  util::FailureReport report;
+};
+
+// `supervisor.n_threads == 0` defers to config.n_threads (which itself
+// falls back to the global pool); an empty stream_label defaults to
+// "seed <config.seed>".
+SupervisedExperiment run_experiment_supervised(
+    const channel::Testbed& testbed, const Scenario& scenario,
+    const ExperimentConfig& config, const std::vector<RoundFn>& methods,
+    const util::SupervisorConfig& supervisor = {});
 
 }  // namespace nplus::sim

@@ -32,6 +32,18 @@ void check_fraction(double v, const char* name) {
   }
 }
 
+// Watchdog cancellation point, polled at every round boundary by both
+// session drivers. Draw-free, so an uncancelled session's trace is
+// untouched; on cancellation the session unwinds out of EventSim::run via
+// util::TimeoutError and the supervisor quarantines the item.
+void poll_cancel(const util::CancelToken* cancel, std::size_t rounds_done) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw util::TimeoutError(
+        "session cancelled by watchdog after " +
+        std::to_string(rounds_done) + " completed rounds");
+  }
+}
+
 }  // namespace
 
 void SessionConfig::validate() const {
@@ -172,6 +184,7 @@ SessionResult run_session(const World& world, const Scenario& scenario,
   // lambda is moved — not copied — through the event queue (EventSim::run),
   // so chaining thousands of rounds costs one small allocation each.
   std::function<void()> round_fn = [&] {
+    poll_cancel(config.cancel, out.rounds);
     const RoundResult res = run_nplus_round(world, scenario, rng,
                                             config.round);
     out.rounds += 1;
@@ -291,6 +304,7 @@ SessionResult run_live_session(World& world, const Scenario& scenario,
   };
 
   std::function<void()> round_fn = [&] {
+    poll_cancel(config.cancel, out.rounds);
     // --- Physical-world step: the time since the last step elapsed with
     // the previous round on the air; the world moved underneath it.
     const double dt = sim.now() - last_step_t;

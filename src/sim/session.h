@@ -19,6 +19,7 @@
 #include "sim/mobility.h"
 #include "sim/round.h"
 #include "util/stats.h"
+#include "util/supervisor.h"
 
 namespace nplus::sim {
 
@@ -116,6 +117,14 @@ struct SessionConfig {
   // timeouts, goodput-vs-throughput accounting. Disabled sessions take the
   // EXACT pre-fault path: same draws, bit-identical traces (goldens).
   FaultConfig faults{};
+  // Cooperative-cancellation hook for the watchdog layer
+  // (util/supervisor.h): when set, the session polls the token at every
+  // round boundary and aborts by throwing util::TimeoutError, so a
+  // degenerate world can never wedge a sweep past its wall-clock budget.
+  // nullptr (the default) is poll-free and cannot be cancelled. Polling
+  // consumes no RNG draws: a session that is never cancelled is
+  // bit-identical with or without the token.
+  const util::CancelToken* cancel = nullptr;
 
   // Rejects NaN/negative durations and rates, zero-probability nonsense,
   // and invalid fault plans with std::invalid_argument (clear message)

@@ -1,56 +1,64 @@
-// Tiny command-line helpers shared by the bench drivers and examples.
+// Command-line plumbing shared by the bench drivers and examples.
 //
 // Every driver accepts `--threads N` (or `--threads=N`), which sizes the
 // global ThreadPool before any experiment runs; without the flag the
 // NPLUS_THREADS environment variable applies, and without either the pool
 // uses hardware_concurrency(). The flag is stripped from argv so drivers
 // can keep their positional arguments.
+//
+// The rest of this header is the drivers' single error path: flag parsing
+// helpers that throw UsageError on malformed input, and cli_main, which
+// turns a UsageError into exit code 2 with the driver's usage line on
+// stderr and any other exception into exit code 1 with its message — so no
+// bench ever dies with a raw terminate() or, worse, swallows a typo and
+// silently benchmarks the wrong configuration.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
-#include "util/thread_pool.h"
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 namespace nplus::util {
 
+// A malformed command line (unknown flag, missing or unparsable value).
+// cli_main reports it with the usage line and exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 // Parses and removes --threads from (argc, argv), configures the global
-// pool, and returns the thread count experiments will run with.
-inline std::size_t init_threads_from_cli(int& argc, char** argv) {
-  std::size_t requested = 0;  // 0 = env var / hardware default
-  int out = 1;
-  for (int in = 1; in < argc; ++in) {
-    const char* arg = argv[in];
-    const char* value = nullptr;
-    if (std::strcmp(arg, "--threads") == 0) {
-      // Always consumed, so a forgotten value can't leak into the
-      // positional arguments (e.g. become a filename or a trial count).
-      if (in + 1 < argc) {
-        value = argv[++in];
-      } else {
-        std::fprintf(stderr, "--threads requires a value; ignored\n");
-        continue;
-      }
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      value = arg + 10;
-    }
-    if (value != nullptr) {
-      const long v = std::strtol(value, nullptr, 10);
-      if (v >= 1) {
-        requested = static_cast<std::size_t>(v);
-      } else {
-        std::fprintf(stderr, "invalid --threads value '%s'; ignored\n",
-                     value);
-      }
-      continue;
-    }
-    argv[out++] = argv[in];
-  }
-  argv[out] = nullptr;  // keep the argv[argc] == nullptr invariant
-  argc = out;
-  ThreadPool::set_global_threads(requested);
-  return requested != 0 ? requested : default_thread_count();
-}
+// pool, and returns the thread count experiments will run with. `strict`
+// throws UsageError on a missing/invalid value; the legacy lenient mode
+// warns on stderr and ignores the flag.
+std::size_t init_threads_from_cli(int& argc, char** argv,
+                                  bool strict = false);
+
+// Consumes `--name` from (argc, argv); returns whether it was present.
+bool take_flag(int& argc, char** argv, const char* name);
+
+// Consumes `--name VALUE` or `--name=VALUE`; nullopt when absent, throws
+// UsageError when the value is missing.
+std::optional<std::string> take_option(int& argc, char** argv,
+                                       const char* name);
+
+// take_option + numeric parse; throws UsageError on garbage, sign errors,
+// or trailing junk ("--retries 3x").
+std::optional<std::size_t> take_size_option(int& argc, char** argv,
+                                            const char* name);
+std::optional<double> take_double_option(int& argc, char** argv,
+                                         const char* name);
+
+// Throws UsageError on the first remaining argument that still looks like
+// a flag (starts with "--"): call after all take_* so a typo such as
+// --chekpoint can never be mistaken for an output filename.
+void reject_unknown_flags(int argc, char** argv);
+
+// Runs `body` and maps exceptions to exit codes: UsageError -> 2 (message
+// plus "usage: <usage>" on stderr), any other std::exception -> 1 (message
+// on stderr). `body` gets the (argc, argv) it should parse.
+int cli_main(int argc, char** argv, const char* usage,
+             const std::function<int(int, char**)>& body);
 
 }  // namespace nplus::util

@@ -39,6 +39,20 @@ class Pcg32 {
     return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
   }
 
+  // Raw generator state, for checkpoint serialization (util/checkpoint.h):
+  // a restored generator continues the stream exactly where save left it.
+  struct Raw {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+  };
+  Raw raw() const { return {state_, inc_}; }
+  static Pcg32 from_raw(const Raw& r) {
+    Pcg32 g;
+    g.state_ = r.state;
+    g.inc_ = r.inc;
+    return g;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;
@@ -132,6 +146,24 @@ class Rng {
     const std::uint64_t mixed = splitmix64(label);
     return Rng(((s1 << 32) | s2) ^ mixed,
                splitmix64(mixed ^ 0x632be59bd9b4e019ULL));
+  }
+
+  // Complete serializable state (generator + the Box-Muller cache, which
+  // must survive a round-trip or the draw *sequence* after restore would
+  // shift by one gaussian). The checkpointed sweep runner persists the
+  // pre-forked per-item stream table as a vector of these.
+  struct State {
+    Pcg32::Raw gen{};
+    bool has_cached = false;
+    double cached = 0.0;
+  };
+  State save() const { return {gen_.raw(), has_cached_, cached_}; }
+  static Rng restore(const State& s) {
+    Rng r;
+    r.gen_ = Pcg32::from_raw(s.gen);
+    r.has_cached_ = s.has_cached;
+    r.cached_ = s.cached;
+    return r;
   }
 
  private:

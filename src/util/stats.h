@@ -20,6 +20,27 @@ class RunningStats {
   double min() const { return min_; }
   double max() const { return max_; }
 
+  // Serializable snapshot of the accumulator (checkpoint/resume): a
+  // restored instance continues accumulating bit-identically to one that
+  // was never saved.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const { return {n_, mean_, m2_, min_, max_}; }
+  static RunningStats from_state(const State& s) {
+    RunningStats r;
+    r.n_ = s.n;
+    r.mean_ = s.mean;
+    r.m2_ = s.m2;
+    r.min_ = s.min;
+    r.max_ = s.max;
+    return r;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,9 +1,44 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <sstream>
+#include <utility>
 
 namespace nplus::util {
+
+namespace {
+
+std::string parallel_error_message(
+    const std::vector<ParallelItemError>& errors) {
+  std::ostringstream os;
+  os << "parallel_for: " << errors.size() << " iterations threw";
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t i = 0; i < errors.size() && i < kMaxListed; ++i) {
+    os << "; item " << errors[i].index << ": " << errors[i].what;
+  }
+  if (errors.size() > kMaxListed) {
+    os << "; ... " << errors.size() - kMaxListed << " more";
+  }
+  return os.str();
+}
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception (not derived from std::exception)";
+  }
+}
+
+}  // namespace
+
+ParallelError::ParallelError(std::vector<ParallelItemError> errors)
+    : std::runtime_error(parallel_error_message(errors)),
+      errors_(std::move(errors)) {}
 
 namespace {
 
@@ -92,8 +127,12 @@ void ThreadPool::work(std::size_t worker) {
     try {
       (*body_)(i, worker);
     } catch (...) {
+      ParallelItemError e;
+      e.index = i;
+      e.what = describe_current_exception();
+      e.error = std::current_exception();
       std::lock_guard<std::mutex> lk(m_);
-      if (!error_) error_ = std::current_exception();
+      errors_.push_back(std::move(e));
       cancel_.store(true, std::memory_order_relaxed);
     }
   }
@@ -170,7 +209,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       at += len;
     }
     body_ = &body;
-    error_ = nullptr;
+    errors_.clear();
     cancel_.store(false, std::memory_order_relaxed);
     active_ = n_threads_;
     ++job_;
@@ -182,16 +221,24 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     work(0);
   }
 
-  std::exception_ptr error;
+  std::vector<ParallelItemError> errors;
   {
     std::unique_lock<std::mutex> lk(m_);
     --active_;
     done_cv_.wait(lk, [&] { return active_ == 0; });
     body_ = nullptr;
-    error = error_;
-    error_ = nullptr;
+    errors.swap(errors_);
   }
-  if (error) std::rethrow_exception(error);
+  if (errors.empty()) return;
+  std::sort(errors.begin(), errors.end(),
+            [](const ParallelItemError& a, const ParallelItemError& b) {
+              return a.index < b.index;
+            });
+  // One failure: rethrow the caller's own exception type (config
+  // validation errors etc. keep their concrete type). Several: nothing is
+  // dropped — the aggregate carries every (index, exception) pair.
+  if (errors.size() == 1) std::rethrow_exception(errors[0].error);
+  throw ParallelError(std::move(errors));
 }
 
 namespace {

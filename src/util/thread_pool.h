@@ -33,6 +33,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -47,6 +49,27 @@ namespace nplus::util {
 // call so tests can adjust the environment.
 std::size_t default_thread_count();
 
+// One worker exception, with the iteration index it came from.
+struct ParallelItemError {
+  std::size_t index = 0;
+  std::string what;
+  std::exception_ptr error;
+};
+
+// Aggregate thrown by parallel_for when SEVERAL iterations failed: every
+// worker exception is collected with its item index instead of all but the
+// first being dropped. A single failing iteration still rethrows its
+// original exception untouched (callers keep catching the concrete type);
+// this type only appears when concurrent failures genuinely overlapped.
+class ParallelError : public std::runtime_error {
+ public:
+  explicit ParallelError(std::vector<ParallelItemError> errors);
+  const std::vector<ParallelItemError>& errors() const { return errors_; }
+
+ private:
+  std::vector<ParallelItemError> errors_;
+};
+
 class ThreadPool {
  public:
   // n_threads == 0 means default_thread_count().
@@ -58,8 +81,10 @@ class ThreadPool {
   std::size_t n_threads() const { return n_threads_; }
 
   // body(index, worker) with worker in [0, n_threads()). Blocks until every
-  // index has run. If a body throws, the first exception is rethrown here
-  // after the remaining workers drain (they skip further iterations).
+  // index has run. If a body throws, remaining workers drain (they skip
+  // further iterations) and the error is rethrown here: the original
+  // exception when exactly one iteration failed, a ParallelError carrying
+  // every (index, exception) pair when several did.
   // Concurrent top-level calls on the same pool are serialized (the second
   // dispatcher blocks until the first job completes); calls from inside a
   // worker run inline.
@@ -136,7 +161,9 @@ class ThreadPool {
   std::size_t active_ = 0;         // participants not yet finished
   bool stop_ = false;
   std::atomic<bool> cancel_{false};  // set on first exception; workers bail
-  std::exception_ptr error_;
+  // Every exception a worker caught this job, with its item index. One
+  // entry rethrows the original; several throw a ParallelError aggregate.
+  std::vector<ParallelItemError> errors_;
 };
 
 }  // namespace nplus::util

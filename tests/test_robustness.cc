@@ -222,3 +222,412 @@ TEST(Robustness, InterferencePowerSweepDegradesGracefully) {
 
 }  // namespace
 }  // namespace nplus::phy
+
+// ---------------------------------------------------------------------------
+// Harness resilience: supervised sweeps, checkpoint/resume, watchdog
+// timeouts, failure quarantine, and runtime invariant audits (PR 7). These
+// live beside the PHY robustness suite because they answer the same
+// question one layer up: does the system keep producing trustworthy output
+// when parts of it misbehave?
+// ---------------------------------------------------------------------------
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include <limits>
+
+#include "sim/audit.h"
+#include "sim/checkpoint_runner.h"
+#include "sim/runner.h"
+#include "sim/scenario_gen.h"
+#include "sim/scenarios.h"
+#include "util/checkpoint.h"
+#include "util/supervisor.h"
+#include "util/thread_pool.h"
+
+namespace nplus::sim {
+namespace {
+
+SweepItem small_item(std::size_t n_links = 3, std::size_t rounds = 10) {
+  SweepItem item;
+  item.gen.n_links = n_links;
+  item.session.n_rounds = rounds;
+  item.session.snapshot_every = 5;
+  return item;
+}
+
+std::vector<std::uint8_t> result_bytes(
+    const std::vector<SessionResult>& results) {
+  util::ByteWriter w;
+  for (const auto& r : results) serialize_session_result(r, w);
+  return w.take();
+}
+
+// Scoped temp file under the ctest working directory.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) : path(name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Supervisor, QuarantinesFailingItemAndCompletesRest) {
+  std::vector<int> done(8, 0);
+  util::SupervisorConfig cfg;
+  cfg.n_threads = 2;
+  cfg.stream_label = "seed 1";
+  const util::FailureReport report = util::Supervisor(cfg).run(
+      8, [&](std::size_t i, util::CancelToken&) {
+        if (i == 3) throw std::runtime_error("item 3 exploded");
+        done[i] = 1;
+      });
+  EXPECT_FALSE(report.all_ok());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 3u);
+  EXPECT_EQ(report.failures[0].kind, util::FailureKind::kException);
+  EXPECT_NE(report.failures[0].what.find("exploded"), std::string::npos);
+  EXPECT_EQ(report.failures[0].stream, "fork(4) of seed 1");
+  EXPECT_EQ(report.n_ok, 7u);
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i], i == 3 ? 0 : 1) << i;
+  }
+  EXPECT_NE(report.summary().find("item 3"), std::string::npos);
+}
+
+TEST(Supervisor, RetriesTransientFailures) {
+  std::atomic<int> attempts{0};
+  util::SupervisorConfig cfg;
+  cfg.n_threads = 2;
+  cfg.max_attempts = 3;
+  cfg.retry_backoff_s = 1e-4;
+  const util::FailureReport report = util::Supervisor(cfg).run(
+      4, [&](std::size_t i, util::CancelToken&) {
+        if (i == 2 && attempts.fetch_add(1) == 0) {
+          throw util::TransientError("flaky dependency");
+        }
+      });
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.n_ok, 4u);
+}
+
+TEST(Supervisor, TransientRetriesExhaustedBecomeExceptions) {
+  util::SupervisorConfig cfg;
+  cfg.n_threads = 1;
+  cfg.max_attempts = 2;
+  cfg.retry_backoff_s = 1e-4;
+  const util::FailureReport report = util::Supervisor(cfg).run(
+      2, [&](std::size_t i, util::CancelToken&) {
+        if (i == 1) throw util::TransientError("always down");
+      });
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].kind, util::FailureKind::kException);
+  EXPECT_EQ(report.failures[0].attempts, 2);
+  EXPECT_EQ(report.retries, 1u);
+}
+
+TEST(Supervisor, WatchdogCancelsOverBudgetItem) {
+  util::SupervisorConfig cfg;
+  cfg.n_threads = 2;
+  cfg.watchdog_s = 0.05;
+  cfg.watchdog_poll_s = 0.005;
+  const util::FailureReport report = util::Supervisor(cfg).run(
+      3, [&](std::size_t i, util::CancelToken& token) {
+        if (i != 1) return;
+        // A "hung" body that honours the polling contract: it only ends
+        // when the watchdog fires (bounded by the deadline below so a
+        // broken watchdog fails the test instead of wedging the suite).
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!token.cancelled()) {
+          ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+              << "watchdog never fired";
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        throw util::TimeoutError("cancelled");
+      });
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 1u);
+  EXPECT_EQ(report.failures[0].kind, util::FailureKind::kTimeout);
+  EXPECT_EQ(report.n_ok, 2u);
+}
+
+TEST(Supervisor, CancelledSessionThrowsTimeout) {
+  // The cooperative hook end-to-end: a pre-fired token makes run_session
+  // unwind at the first round boundary.
+  util::Rng rng(5);
+  util::Rng gen_rng = rng.fork(1);
+  util::Rng world_rng = rng.fork(2);
+  util::Rng session_rng = rng.fork(3);
+  const GeneratedTopology topo = generate_topology(small_item().gen, gen_rng);
+  World world = make_world(topo, world_rng);
+  SessionConfig cfg = small_item().session;
+  util::CancelToken token;
+  token.cancel();
+  cfg.cancel = &token;
+  EXPECT_THROW(run_session(world, topo.scenario, session_rng, cfg),
+               util::TimeoutError);
+}
+
+TEST(ThreadPool, AggregatesAllWorkerExceptions) {
+  util::ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 100, [](std::size_t i, std::size_t) {
+      if (i % 10 == 3) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelError";
+  } catch (const util::ParallelError& e) {
+    // Cancellation stops the sweep early, so we cannot demand all ten
+    // failures — but at least one is guaranteed, indices are sorted and
+    // deduplicated, and the message names the items.
+    ASSERT_GE(e.errors().size(), 1u);
+    for (std::size_t k = 1; k < e.errors().size(); ++k) {
+      EXPECT_LT(e.errors()[k - 1].index, e.errors()[k].index);
+    }
+    for (const auto& item : e.errors()) {
+      EXPECT_EQ(item.index % 10, 3u);
+      EXPECT_NE(item.what.find("boom"), std::string::npos);
+    }
+    EXPECT_NE(std::string(e.what()).find("item"), std::string::npos);
+  } catch (const std::runtime_error& e) {
+    // A single captured failure rethrows the original exception type.
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Audit, RealSessionPassesCleanly) {
+  util::Rng rng(11);
+  util::Rng gen_rng = rng.fork(1);
+  util::Rng world_rng = rng.fork(2);
+  util::Rng session_rng = rng.fork(3);
+  const SweepItem item = small_item(3, 20);
+  const GeneratedTopology topo = generate_topology(item.gen, gen_rng);
+  World world = make_world(topo, world_rng);
+  const SessionResult result =
+      run_session(world, topo.scenario, session_rng, item.session);
+  const AuditContext ctx = make_audit_context(topo.scenario, item.session);
+  EXPECT_TRUE(audit_session(result, ctx).empty());
+  EXPECT_NO_THROW(audit_session_or_throw(result, ctx));
+}
+
+TEST(Audit, CatchesSeededViolations) {
+  util::Rng rng(11);
+  util::Rng gen_rng = rng.fork(1);
+  util::Rng world_rng = rng.fork(2);
+  util::Rng session_rng = rng.fork(3);
+  const SweepItem item = small_item(3, 20);
+  const GeneratedTopology topo = generate_topology(item.gen, gen_rng);
+  World world = make_world(topo, world_rng);
+  const SessionResult clean =
+      run_session(world, topo.scenario, session_rng, item.session);
+  const AuditContext ctx = make_audit_context(topo.scenario, item.session);
+
+  {
+    SessionResult r = clean;  // throughput above the PHY ceiling
+    r.total_mbps = 1e9;
+    EXPECT_FALSE(audit_session(r, ctx).empty());
+  }
+  {
+    SessionResult r = clean;  // NaN percolated into a published scalar
+    r.duration_s = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(audit_session(r, ctx).empty());
+  }
+  {
+    SessionResult r = clean;  // Jain outside (0, 1]
+    r.jain = 1.5;
+    EXPECT_FALSE(audit_session(r, ctx).empty());
+  }
+  {
+    SessionResult r = clean;  // goodput cannot exceed throughput
+    r.goodput_mbps = r.total_mbps * 2.0 + 1.0;
+    EXPECT_FALSE(audit_session(r, ctx).empty());
+  }
+  {
+    SessionResult r = clean;  // negative per-link rate
+    if (!r.per_link_mbps.empty()) {
+      r.per_link_mbps[0] = -1.0;
+      EXPECT_FALSE(audit_session(r, ctx).empty());
+    }
+  }
+  {
+    SessionResult r = clean;  // busy airtime above the elapsed clock
+    r.duration_s = r.round_duration.mean() *
+                       static_cast<double>(r.round_duration.count()) * 0.5;
+    EXPECT_FALSE(audit_session(r, ctx).empty());
+    EXPECT_THROW(audit_session_or_throw(r, ctx), util::InvariantError);
+  }
+}
+
+TEST(CheckpointRunner, FreshRunMatchesUnsupervisedSweep) {
+  const std::vector<SweepItem> items(4, small_item());
+  const std::uint64_t seed = 21;
+  const std::vector<SessionResult> expected =
+      run_generated_sessions(items, seed, 2);
+  RunnerConfig cfg;
+  cfg.supervisor.n_threads = 2;
+  CheckpointedRunner runner(items, seed, cfg);
+  const SweepOutcome outcome = runner.run();
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_TRUE(outcome.report.all_ok());
+  EXPECT_EQ(outcome.resumed, 0u);
+  ASSERT_EQ(outcome.results.size(), expected.size());
+  EXPECT_EQ(result_bytes(outcome.results), result_bytes(expected));
+}
+
+TEST(CheckpointRunner, KillAtCheckpointThenResumeIsByteIdentical) {
+  const std::vector<SweepItem> items(6, small_item());
+  const std::uint64_t seed = 33;
+  const std::vector<SessionResult> uninterrupted =
+      run_generated_sessions(items, seed, 1);
+  const std::vector<std::uint8_t> expected = result_bytes(uninterrupted);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    TempFile ckpt("test_ckpt_resume_" + std::to_string(threads) + ".bin");
+    // Phase 1: die (gracefully, in-process) after 2 fresh completions.
+    {
+      RunnerConfig cfg;
+      cfg.supervisor.n_threads = threads;
+      cfg.checkpoint_path = ckpt.path;
+      cfg.checkpoint_every = 1;
+      cfg.halt_after = 2;
+      CheckpointedRunner runner(items, seed, cfg);
+      const SweepOutcome partial = runner.run();
+      EXPECT_FALSE(partial.complete());
+      EXPECT_TRUE(partial.report.all_ok());
+    }
+    // Phase 2: resume from the checkpoint and finish.
+    RunnerConfig cfg;
+    cfg.supervisor.n_threads = threads;
+    cfg.checkpoint_path = ckpt.path;
+    cfg.resume = true;
+    CheckpointedRunner runner(items, seed, cfg);
+    const SweepOutcome outcome = runner.run();
+    EXPECT_TRUE(outcome.complete()) << threads << " threads";
+    EXPECT_GE(outcome.resumed, 2u);
+    EXPECT_EQ(result_bytes(outcome.results), expected)
+        << threads << " threads";
+  }
+}
+
+TEST(CheckpointRunner, QuarantinedItemYieldsPartialResults) {
+  std::vector<SweepItem> items(4, small_item());
+  items[2].gen.n_links = 0;  // generate_topology rejects this loudly
+  RunnerConfig cfg;
+  cfg.supervisor.n_threads = 2;
+  CheckpointedRunner runner(items, 77, cfg);
+  const SweepOutcome outcome = runner.run();
+  EXPECT_FALSE(outcome.complete());
+  ASSERT_EQ(outcome.report.failures.size(), 1u);
+  EXPECT_EQ(outcome.report.failures[0].index, 2u);
+  EXPECT_EQ(outcome.report.failures[0].kind, util::FailureKind::kException);
+  ASSERT_EQ(outcome.completed.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(outcome.completed[i], i == 2 ? 0 : 1) << i;
+    if (i != 2) EXPECT_GT(outcome.results[i].rounds, 0u) << i;
+  }
+}
+
+TEST(CheckpointRunner, ChaosMutationIsCaughtByAudit) {
+  const std::vector<SweepItem> items(3, small_item());
+  RunnerConfig cfg;
+  cfg.supervisor.n_threads = 2;
+  cfg.chaos_mutate = [](std::size_t i, SessionResult& r) {
+    if (i == 1) r.total_mbps = std::numeric_limits<double>::quiet_NaN();
+  };
+  CheckpointedRunner runner(items, 88, cfg);
+  const SweepOutcome outcome = runner.run();
+  ASSERT_EQ(outcome.report.failures.size(), 1u);
+  EXPECT_EQ(outcome.report.failures[0].index, 1u);
+  EXPECT_EQ(outcome.report.failures[0].kind, util::FailureKind::kInvariant);
+  EXPECT_NE(outcome.report.failures[0].what.find("total_mbps"),
+            std::string::npos);
+}
+
+TEST(CheckpointRunner, CorruptCheckpointIsRejected) {
+  const std::vector<SweepItem> items(3, small_item());
+  TempFile ckpt("test_ckpt_corrupt.bin");
+  {
+    RunnerConfig cfg;
+    cfg.supervisor.n_threads = 1;
+    cfg.checkpoint_path = ckpt.path;
+    cfg.checkpoint_every = 1;
+    cfg.halt_after = 1;
+    CheckpointedRunner runner(items, 55, cfg);
+    runner.run();
+  }
+  // Flip one payload byte: the CRC check must refuse the file.
+  {
+    std::fstream f(ckpt.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(24, std::ios::beg);
+    char b = 0;
+    f.seekg(24, std::ios::beg);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5a);
+    f.seekp(24, std::ios::beg);
+    f.write(&b, 1);
+  }
+  RunnerConfig cfg;
+  cfg.supervisor.n_threads = 1;
+  cfg.checkpoint_path = ckpt.path;
+  cfg.resume = true;
+  CheckpointedRunner runner(items, 55, cfg);
+  EXPECT_THROW(runner.run(), util::CheckpointError);
+}
+
+TEST(CheckpointRunner, MismatchedSweepIsRejected) {
+  const std::vector<SweepItem> items(3, small_item());
+  TempFile ckpt("test_ckpt_mismatch.bin");
+  {
+    RunnerConfig cfg;
+    cfg.supervisor.n_threads = 1;
+    cfg.checkpoint_path = ckpt.path;
+    CheckpointedRunner runner(items, 55, cfg);
+    runner.run();
+  }
+  // Same file, different seed: the identity header must not match.
+  RunnerConfig cfg;
+  cfg.supervisor.n_threads = 1;
+  cfg.checkpoint_path = ckpt.path;
+  cfg.resume = true;
+  CheckpointedRunner runner(items, 56, cfg);
+  EXPECT_THROW(runner.run(), util::CheckpointError);
+}
+
+TEST(RunnerSupervised, MatchesBareExperimentWhenNothingFails) {
+  const channel::Testbed testbed;
+  const Scenario scenario = three_pair_scenario();
+  ExperimentConfig cfg;
+  cfg.n_placements = 6;
+  cfg.rounds_per_placement = 2;
+  cfg.seed = 9;
+  cfg.n_threads = 2;
+  const std::vector<RoundFn> methods = {
+      make_nplus_round_fn(scenario, cfg.round)};
+  const std::vector<MethodResult> bare =
+      run_experiment(testbed, scenario, cfg, methods);
+  const SupervisedExperiment sup =
+      run_experiment_supervised(testbed, scenario, cfg, methods);
+  EXPECT_TRUE(sup.report.all_ok());
+  ASSERT_EQ(sup.methods.size(), bare.size());
+  for (std::size_t m = 0; m < bare.size(); ++m) {
+    ASSERT_EQ(sup.methods[m].samples.size(), bare[m].samples.size());
+    for (std::size_t p = 0; p < bare[m].samples.size(); ++p) {
+      EXPECT_EQ(sup.methods[m].samples[p].total_mbps,
+                bare[m].samples[p].total_mbps);
+      EXPECT_EQ(sup.methods[m].samples[p].per_link_mbps,
+                bare[m].samples[p].per_link_mbps);
+      EXPECT_TRUE(sup.completed[p]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nplus::sim

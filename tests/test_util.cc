@@ -367,3 +367,190 @@ TEST(Log, RespectsLevel) {
 
 }  // namespace
 }  // namespace nplus::util
+
+// ---------------------------------------------------------------------------
+// Checkpoint container, serializable state, and CLI plumbing (PR 7).
+// ---------------------------------------------------------------------------
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "util/checkpoint.h"
+#include "util/cli.h"
+
+namespace nplus::util {
+namespace {
+
+TEST(RngState, SaveRestoreContinuesStreamExactly) {
+  Rng a(42);
+  // Burn a mixed prefix, including a gaussian so the Box-Muller cache is
+  // live at the save point — the classic way to shift the stream by one.
+  for (int i = 0; i < 7; ++i) a.uniform();
+  a.gaussian();
+  const Rng::State snap = a.save();
+  Rng b = Rng::restore(snap);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(a.uniform(), b.uniform()) << i;
+    ASSERT_EQ(a.gaussian(), b.gaussian()) << i;
+    ASSERT_EQ(a.uniform_int(1000u), b.uniform_int(1000u)) << i;
+  }
+}
+
+TEST(RunningStatsState, RoundTripAccumulatesIdentically) {
+  RunningStats a;
+  for (int i = 0; i < 9; ++i) a.add(std::sin(i) * 10.0);
+  RunningStats b = RunningStats::from_state(a.state());
+  for (int i = 9; i < 20; ++i) {
+    a.add(std::cos(i));
+    b.add(std::cos(i));
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(Crc32, KnownAnswerAndIncremental) {
+  // The classic CRC-32 check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+  // Incremental feeding must match one-shot.
+  const std::uint32_t part = crc32(s, 4);
+  EXPECT_EQ(crc32(s + 4, 5, part), 0xCBF43926u);
+  EXPECT_EQ(crc32(s, 0), 0u);
+}
+
+TEST(ByteCodec, RoundTripsAndBoundsChecks) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1.5e-300);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  const std::vector<std::uint8_t> buf = w.data();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f64(), -1.5e-300);
+  EXPECT_TRUE(std::isnan(r.f64()));  // NaN bit pattern survives
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), CheckpointError);  // over-read must never be quiet
+}
+
+TEST(Checkpoint, FileRoundTripMissingAndCorrupt) {
+  const std::string path = "test_util_ckpt.bin";
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_checkpoint_file(path).has_value());
+
+  CheckpointData d;
+  d.version = 3;
+  d.header = {1, 2, 3, 4};
+  d.items.emplace_back(7, std::vector<std::uint8_t>{9, 8, 7});
+  d.items.emplace_back(2, std::vector<std::uint8_t>{});
+  write_checkpoint_file(path, d);
+
+  const auto back = read_checkpoint_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 3u);
+  EXPECT_EQ(back->header, d.header);
+  ASSERT_EQ(back->items.size(), 2u);
+  EXPECT_EQ(back->items[0].first, 7u);
+  EXPECT_EQ(back->items[0].second, d.items[0].second);
+  EXPECT_EQ(back->items[1].first, 2u);
+  EXPECT_TRUE(back->items[1].second.empty());
+
+  // Corrupt one byte in the middle: CRC verification must throw.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 10, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 10, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+// Builds a mutable argv from string literals (argv[argc] == nullptr).
+struct FakeArgv {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  explicit FakeArgv(std::vector<std::string> args)
+      : storage(std::move(args)) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+  char** argv() { return ptrs.data(); }
+};
+
+TEST(Cli, TakeHelpersConsumeFlags) {
+  FakeArgv a({"bench", "--smoke", "--checkpoint", "ck.bin",
+              "--retries=2", "out.json"});
+  int argc = a.argc;
+  char** argv = a.argv();
+  EXPECT_TRUE(take_flag(argc, argv, "--smoke"));
+  EXPECT_FALSE(take_flag(argc, argv, "--smoke"));
+  const auto ck = take_option(argc, argv, "--checkpoint");
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(*ck, "ck.bin");
+  const auto retries = take_size_option(argc, argv, "--retries");
+  ASSERT_TRUE(retries.has_value());
+  EXPECT_EQ(*retries, 2u);
+  EXPECT_FALSE(take_double_option(argc, argv, "--watchdog").has_value());
+  EXPECT_NO_THROW(reject_unknown_flags(argc, argv));
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "out.json");
+}
+
+TEST(Cli, MalformedInputThrowsUsageError) {
+  {
+    FakeArgv a({"bench", "--retries", "soon"});
+    int argc = a.argc;
+    EXPECT_THROW(take_size_option(argc, a.argv(), "--retries"), UsageError);
+  }
+  {
+    FakeArgv a({"bench", "--watchdog"});  // missing value
+    int argc = a.argc;
+    EXPECT_THROW(take_double_option(argc, a.argv(), "--watchdog"),
+                 UsageError);
+  }
+  {
+    FakeArgv a({"bench", "--watchdog=2x"});
+    int argc = a.argc;
+    EXPECT_THROW(take_double_option(argc, a.argv(), "--watchdog"),
+                 UsageError);
+  }
+  {
+    FakeArgv a({"bench", "--bogus", "out.json"});
+    int argc = a.argc;
+    EXPECT_THROW(reject_unknown_flags(argc, a.argv()), UsageError);
+  }
+}
+
+TEST(Cli, CliMainMapsExceptionsToExitCodes) {
+  char prog[] = "bench";
+  char* argv[] = {prog, nullptr};
+  EXPECT_EQ(cli_main(1, argv, "[opts]",
+                     [](int, char**) -> int { return 0; }),
+            0);
+  EXPECT_EQ(cli_main(1, argv, "[opts]", [](int, char**) -> int {
+              throw UsageError("bad flag");
+            }),
+            2);
+  EXPECT_EQ(cli_main(1, argv, "[opts]", [](int, char**) -> int {
+              throw std::runtime_error("config exploded");
+            }),
+            1);
+}
+
+}  // namespace
+}  // namespace nplus::util
