@@ -36,9 +36,6 @@ int main(int argc, char** argv) {
       {sim::make_nplus_round_fn(scenario, cfg.round),
        baselines::make_dot11n_round_fn(scenario, cfg.round)});
 
-  const char* labels[] = {"tx1-rx1 (1 ant)", "tx2-rx2 (2 ant)",
-                          "tx3-rx3 (3 ant)"};
-
   auto collect = [&](int method, int link) {
     std::vector<double> v;
     for (const auto& s : results[static_cast<std::size_t>(method)].samples) {
@@ -58,8 +55,8 @@ int main(int argc, char** argv) {
                   util::percentile(nplus_v, p), util::percentile(base_v, p));
     }
     double mean_n = 0, mean_b = 0;
-    for (double v : nplus_v) mean_n += v / nplus_v.size();
-    for (double v : base_v) mean_b += v / base_v.size();
+    for (double v : nplus_v) mean_n += v / static_cast<double>(nplus_v.size());
+    for (double v : base_v) mean_b += v / static_cast<double>(base_v.size());
     std::printf("%-10s %8.2f %8.2f   gain %.2fx\n\n", "mean", mean_n, mean_b,
                 mean_b > 0 ? mean_n / mean_b : 0.0);
   };

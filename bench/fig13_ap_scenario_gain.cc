@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       auto v = gains(baseline, link);
       if (v.empty()) continue;
       double mean = 0;
-      for (double g : v) mean += g / v.size();
+      for (double g : v) mean += g / static_cast<double>(v.size());
       std::printf("%-12s", link < 0 ? "total" : links[link]);
       for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
         std::printf(" %6.2f", util::percentile(v, p));

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the n+ simulator.
+
+Runs the curated .clang-tidy check set (bugprone-*, performance-*,
+concurrency-*, see the config for the pruning rationale) over every
+first-party translation unit listed in compile_commands.json. The build
+directory must have been configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+(the top-level CMakeLists.txt forces it on).
+
+Usage:
+  run_clang_tidy.py [--build-dir BUILD] [--jobs N] [--if-available]
+                    [paths ...]
+
+  paths            restrict to sources under these prefixes
+                   (default: src bench tests examples)
+  --if-available   exit 0 with a notice when no clang-tidy binary exists
+                   (for local runs; CI omits it so a missing binary fails)
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PREFIXES = ("src", "bench", "tests", "examples")
+# Candidate binary names, newest first — Debian installs versioned names.
+TIDY_NAMES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(21, 12, -1)]
+
+
+def find_tidy() -> str | None:
+    for name in TIDY_NAMES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def first_party_sources(build_dir: str, prefixes: tuple[str, ...]) -> list[str]:
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(cc_path):
+        sys.stderr.write(
+            f"error: {cc_path} not found — configure the build first:\n"
+            f"  cmake -B {build_dir} -S {REPO_ROOT}\n")
+        sys.exit(2)
+    with open(cc_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    wanted = []
+    for entry in entries:
+        src = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(src, REPO_ROOT)
+        if rel.startswith(".."):
+            continue  # third-party / generated
+        if rel.replace(os.sep, "/").startswith("tests/lint_fixtures/"):
+            continue  # fixtures contain findings on purpose
+        if any(rel == p or rel.startswith(p + os.sep) for p in prefixes):
+            wanted.append(src)
+    return sorted(set(wanted))
+
+
+def run_one(args: tuple[str, str, str]) -> tuple[str, int, str]:
+    tidy, build_dir, src = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", src],
+        capture_output=True, text=True, check=False)
+    # clang-tidy reports findings on stdout; suppress the noise-only
+    # "N warnings generated" stderr chatter when the file is clean.
+    out = proc.stdout.strip()
+    return (src, proc.returncode, out)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    ap.add_argument("--if-available", action="store_true")
+    ap.add_argument("paths", nargs="*", default=None)
+    opts = ap.parse_args(argv)
+
+    tidy = find_tidy()
+    if tidy is None:
+        msg = "clang-tidy not found on PATH"
+        if opts.if_available:
+            print(f"note: {msg}; skipping (--if-available)")
+            return 0
+        sys.stderr.write(f"error: {msg}\n")
+        return 2
+
+    prefixes = tuple(opts.paths) if opts.paths else DEFAULT_PREFIXES
+    sources = first_party_sources(opts.build_dir, prefixes)
+    if not sources:
+        sys.stderr.write("error: no first-party sources matched\n")
+        return 2
+
+    print(f"{os.path.basename(tidy)}: {len(sources)} translation units, "
+          f"-j{opts.jobs}")
+    failures = 0
+    with multiprocessing.Pool(opts.jobs) as pool:
+        jobs = [(tidy, opts.build_dir, s) for s in sources]
+        for src, rc, out in pool.imap_unordered(run_one, jobs):
+            rel = os.path.relpath(src, REPO_ROOT)
+            if rc != 0 or out:
+                failures += 1
+                print(f"--- {rel}")
+                if out:
+                    print(out)
+                if rc != 0 and not out:
+                    print(f"(clang-tidy exited {rc} with no findings text)")
+    if failures:
+        print(f"FAILED: findings in {failures} of {len(sources)} files")
+        return 1
+    print(f"clang-tidy clean over {len(sources)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

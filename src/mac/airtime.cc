@@ -14,10 +14,13 @@ double preamble_s(const AirtimeConfig& cfg, std::size_t n_streams) {
   // STF: 10 short symbols = 2 full symbols' worth of samples (160 at 64-pt);
   // LTF: 160 samples per stream.
   const double sample_s = 1.0 / cfg.ofdm.sample_rate_hz;
-  const double stf = 10.0 * (cfg.ofdm.scaled_fft() / 4.0) * sample_s;
+  const double stf =
+      10.0 * (static_cast<double>(cfg.ofdm.scaled_fft()) / 4.0) * sample_s;
   const double ltf =
       static_cast<double>(n_streams) *
-      (2.0 * cfg.ofdm.scaled_cp() + 2.0 * cfg.ofdm.scaled_fft()) * sample_s;
+      (2.0 * static_cast<double>(cfg.ofdm.scaled_cp()) +
+       2.0 * static_cast<double>(cfg.ofdm.scaled_fft())) *
+      sample_s;
   return stf + ltf;
 }
 

@@ -24,15 +24,6 @@ void write_rng_state(const util::Rng::State& s, util::ByteWriter& w) {
   w.f64(s.cached);
 }
 
-util::Rng::State read_rng_state(util::ByteReader& r) {
-  util::Rng::State s;
-  s.gen.state = r.u64();
-  s.gen.inc = r.u64();
-  s.has_cached = r.u8() != 0;
-  s.cached = r.f64();
-  return s;
-}
-
 void write_stats(const util::RunningStats& s, util::ByteWriter& w) {
   const util::RunningStats::State st = s.state();
   w.u64(st.n);

@@ -844,10 +844,10 @@ IsolatedTxResult evaluate_isolated_tx(const World& world,
     result.degenerate_esnr += sanitize_sinrs(sinrs);
     for (auto& sv : stream_sinr) sanitize_sinrs(sv);
     for (auto& mv : stream_models) {
-      for (phy::StreamRxModel& m : mv) {
-        if (!std::isfinite(m.sinr) || !std::isfinite(m.noise_var) ||
-            !std::isfinite(std::norm(m.gain))) {
-          m = phy::StreamRxModel{};
+      for (phy::StreamRxModel& model : mv) {
+        if (!std::isfinite(model.sinr) || !std::isfinite(model.noise_var) ||
+            !std::isfinite(std::norm(model.gain))) {
+          model = phy::StreamRxModel{};
         }
       }
     }

@@ -89,7 +89,7 @@ World::World(const channel::Testbed& testbed,
       {
         PairDyn dyn;
         dyn.prev_dist_m = testbed.distance_m(locations[a], locations[b]);
-        util::Rng peek = rng;
+        util::Rng peek = rng.duplicate();
         const double loss_db = -util::to_db(std::max(
             testbed.link_gain(locations[a], locations[b], peek), 1e-300));
         dyn.shadow_s0_db =
@@ -215,13 +215,14 @@ const std::vector<CMat>& World::lazy_channel(std::size_t a,
     static const auto data_sc = phy::data_subcarriers();
     // Copy-then-fork: lazy_base_ itself never advances, so the child
     // stream depends only on the pair label, never on access order.
-    util::Rng base = lazy_base_;
+    util::Rng base = lazy_base_.duplicate();
     util::Rng pair_rng = base.fork(key);
     // Dynamics ledger (peek a stream copy; see the eager constructor).
     PairDyn& dyn = dyn_.try_emplace(key).first->second;
+    // lint:allow float-equal: 0.0 is the exact not-yet-initialized sentinel
     if (dyn.prev_dist_m == 0.0) {
       dyn.prev_dist_m = testbed_.distance_m(locations_[lo], locations_[hi]);
-      util::Rng peek = pair_rng;
+      util::Rng peek = pair_rng.duplicate();
       const double loss_db = -util::to_db(std::max(
           testbed_.link_gain(locations_[lo], locations_[hi], peek),
           1e-300));
@@ -237,6 +238,7 @@ const std::vector<CMat>& World::lazy_channel(std::size_t a,
     // shadowing draw — but must additionally realize the shadowing drift
     // the advances accumulated, so the channel delivers exactly the link
     // SNR the world has been advertising.
+    // lint:allow float-equal: offset is exactly 0.0 until the first advance
     if (dyn.shadow_offset_db() != 0.0) {
       fwd.scale_gain(util::from_db(-dyn.shadow_offset_db()));
     }
@@ -266,7 +268,7 @@ double World::lazy_link_snr_db(std::size_t a, std::size_t b) const {
     // The link budget (pathloss + shadowing) is the FIRST draw of the
     // pair's stream — the same draw make_channel consumes first — so the
     // channel materialized later realizes exactly this shadowing.
-    util::Rng base = lazy_base_;
+    util::Rng base = lazy_base_.duplicate();
     util::Rng pair_rng = base.fork(key);
     const double gain =
         testbed_.link_gain(locations_[lo], locations_[hi], pair_rng);
@@ -274,6 +276,7 @@ double World::lazy_link_snr_db(std::size_t a, std::size_t b) const {
     // Dynamics ledger: the budget draw IS the realized shadowing, so s0
     // falls out directly (sample - median, distance-independent).
     PairDyn& dyn = dyn_.try_emplace(key).first->second;
+    // lint:allow float-equal: 0.0 is the exact not-yet-initialized sentinel
     if (dyn.prev_dist_m == 0.0) {
       dyn.prev_dist_m = testbed_.distance_m(locations_[lo], locations_[hi]);
       dyn.shadow_s0_db =
@@ -302,7 +305,7 @@ const std::vector<CMat>& World::lazy_recip(std::size_t a,
   auto it = lazy_recip_.find(key);
   if (it == lazy_recip_.end()) {
     const std::vector<CMat>& rev_chan = lazy_channel(b, a);  // M_a x N_b
-    util::Rng base = lazy_base_;
+    util::Rng base = lazy_base_.duplicate();
     util::Rng recip_rng = base.fork(key);
     // One calibration error per antenna pair, constant across subcarriers
     // (hardware chains are flat over 10 MHz) — as in the eager mode, but
@@ -458,6 +461,7 @@ void World::advance(const std::vector<channel::Location>& positions,
       ch->evolve(rho_d, rng);
       changed = true;
     }
+    // lint:allow float-equal: exact-zero delta is the draw-free no-op guard
     if (ch != nullptr && gain_delta_db != 0.0) {
       ch->scale_gain(util::from_db(gain_delta_db));
       changed = true;
@@ -467,6 +471,7 @@ void World::advance(const std::vector<channel::Location>& positions,
     // Lazy link SNRs are budget numbers: shift them by the large-scale
     // delta (fading evolution leaves the budget untouched). Covers both
     // SNR-only pairs and pairs with materialized channels.
+    // lint:allow float-equal: exact-zero delta is the draw-free no-op guard
     if (config_.lazy_channels && gain_delta_db != 0.0) {
       auto snr_it = lazy_snr_.find(key);
       if (snr_it != lazy_snr_.end()) snr_it->second += gain_delta_db;

@@ -166,13 +166,32 @@ std::optional<CheckpointData> read_checkpoint_file(const std::string& path) {
     }
     CheckpointData d;
     d.version = r.u32();
-    d.header.resize(r.u64());
+    const std::uint64_t header_size = r.u64();
+    // Every declared size must fit in the bytes that actually follow it;
+    // otherwise a crafted (or bit-rotted yet CRC-valid) file turns resize()
+    // into a multi-GiB allocation instead of a CheckpointError.
+    if (header_size > r.remaining()) {
+      throw CheckpointError("declared header size " +
+                            std::to_string(header_size) +
+                            " exceeds remaining payload");
+    }
+    d.header.resize(static_cast<std::size_t>(header_size));
     r.bytes(d.header.data(), d.header.size());
     const std::uint64_t n_items = r.u64();
-    d.items.reserve(n_items);
+    if (n_items > r.remaining() / 16) {  // each item is >= 16 bytes on disk
+      throw CheckpointError("declared item count " + std::to_string(n_items) +
+                            " exceeds remaining payload");
+    }
+    d.items.reserve(static_cast<std::size_t>(n_items));
     for (std::uint64_t i = 0; i < n_items; ++i) {
       const std::uint64_t index = r.u64();
-      std::vector<std::uint8_t> blob(r.u64());
+      const std::uint64_t blob_size = r.u64();
+      if (blob_size > r.remaining()) {
+        throw CheckpointError("declared blob size " +
+                              std::to_string(blob_size) +
+                              " exceeds remaining payload");
+      }
+      std::vector<std::uint8_t> blob(static_cast<std::size_t>(blob_size));
       r.bytes(blob.data(), blob.size());
       d.items.emplace_back(index, std::move(blob));
     }

@@ -69,8 +69,12 @@ std::size_t init_threads_from_cli(int& argc, char** argv, bool strict) {
         value = arg + 10;
       }
       if (value != nullptr) {
-        const long v = std::strtol(value, nullptr, 10);
-        if (v >= 1) {
+        errno = 0;
+        char* end = nullptr;
+        const long v = std::strtol(value, &end, 10);
+        // Full-string parse only: "4x" silently becoming 4 threads would
+        // change the schedule (and thus the trace) without any signal.
+        if (errno == 0 && end != value && *end == '\0' && v >= 1) {
           requested = static_cast<std::size_t>(v);
         } else {
           std::fprintf(stderr, "invalid --threads value '%s'; ignored\n",

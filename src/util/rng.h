@@ -64,6 +64,24 @@ class Rng {
   explicit Rng(std::uint64_t seed = 1, std::uint64_t stream = 54u)
       : gen_(seed, stream) {}
 
+  // Copying an Rng silently duplicates a stream: the original and the copy
+  // then replay identical draws, which breaks the one-stream-per-consumer
+  // discipline the cross-thread bit-identity guarantee rests on. The copy
+  // constructor is therefore gated behind the explicit, greppable
+  // duplicate() below (the determinism linter's `rng-by-value` rule flags
+  // implicit copies); copy *assignment* stays deleted outright — overwriting
+  // a live stream in place is never the right tool (checkpoint round-trips
+  // go through Rng::State, new streams through fork()).
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+  Rng& operator=(const Rng&) = delete;
+
+  // Deliberate stream duplication for peek/probe patterns: draw from the
+  // duplicate to learn what the stream WOULD produce (e.g. recovering the
+  // realized shadowing materialization draw) while the original stays
+  // untouched. Every call site is an auditable statement of intent.
+  Rng duplicate() const { return Rng(*this); }
+
   // Uniform in [0, 1).
   double uniform() {
     // 53-bit mantissa from two 32-bit draws.
@@ -167,6 +185,8 @@ class Rng {
   }
 
  private:
+  Rng(const Rng&) = default;
+
   static std::uint64_t splitmix64(std::uint64_t x) {
     x += 0x9e3779b97f4a7c15ULL;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;

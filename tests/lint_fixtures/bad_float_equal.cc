@@ -1,0 +1,19 @@
+// LINT-PATH: src/phy/fixture_float_eq.cc
+// Exact ==/!= against float literals in the numeric core (sim/, phy/) is
+// almost always a latent bug: the compared value came through arithmetic
+// whose rounding differs across optimization levels and platforms.
+namespace nplus::phy {
+
+bool bad_eq(double esnr) {
+  return esnr == 1.0;  // EXPECT: float-equal
+}
+
+bool bad_neq(double per) {
+  return per != 0.5;  // EXPECT: float-equal
+}
+
+bool bad_left_literal(double gain) {
+  return 2.5 == gain;  // EXPECT: float-equal
+}
+
+}  // namespace nplus::phy

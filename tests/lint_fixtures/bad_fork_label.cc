@@ -1,0 +1,26 @@
+// LINT-PATH: bench/fixture_fork_label.cc
+// fork() labels must be pure expressions: a function call inside a label
+// can draw from the stream or read ambient state, so the child stream's
+// identity would depend on evaluation order or the environment.
+#include <ctime>
+
+#include "util/rng.h"
+
+namespace {
+
+std::uint64_t name_hash(const char* s);
+
+nplus::util::Rng bad_draw_in_label(nplus::util::Rng& rng) {
+  return rng.fork(rng.uniform_int(10u));  // EXPECT: fork-label-pure
+}
+
+nplus::util::Rng bad_hash_label(nplus::util::Rng& rng, const char* name) {
+  return rng.fork(name_hash(name));  // EXPECT: fork-label-pure
+}
+
+nplus::util::Rng bad_clock_label(nplus::util::Rng& rng) {
+  return rng.fork(  // EXPECT: fork-label-pure
+      static_cast<std::uint64_t>(time(nullptr)));
+}
+
+}  // namespace

@@ -1,0 +1,22 @@
+// LINT-PATH: src/sim/fixture_rng_copy.cc
+// An Rng taken by value (or copy-initialized) silently duplicates a stream:
+// caller and callee then replay identical draws, and the caller's idea of
+// "its" stream position is wrong from that point on.
+#include "util/rng.h"
+
+namespace nplus::sim {
+
+double bad_by_value(util::Rng rng) {  // EXPECT: rng-by-value
+  return rng.uniform();
+}
+
+double bad_second_param(int n, util::Rng rng) {  // EXPECT: rng-by-value
+  return n * rng.uniform();
+}
+
+double bad_copy_init(util::Rng& rng) {
+  util::Rng copy = rng;  // EXPECT: rng-by-value
+  return copy.uniform();
+}
+
+}  // namespace nplus::sim

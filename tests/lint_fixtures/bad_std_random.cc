@@ -1,0 +1,28 @@
+// LINT-PATH: bench/fixture_std_random.cc
+// All randomness flows through util::Rng; std:: generators are seeded from
+// ambient entropy or produce implementation-defined sequences, so any use
+// forfeits cross-platform bit-identity.
+#include <cstdlib>
+#include <random>
+
+namespace {
+
+int bad_c_rand() {
+  return std::rand();  // EXPECT: std-random
+}
+
+void bad_seed() {
+  srand(42);  // EXPECT: std-random
+}
+
+unsigned bad_entropy() {
+  std::random_device rd;  // EXPECT: std-random
+  return rd();
+}
+
+unsigned bad_twister() {
+  std::mt19937 gen(7);  // EXPECT: std-random
+  return gen();
+}
+
+}  // namespace

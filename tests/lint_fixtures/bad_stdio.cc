@@ -1,0 +1,26 @@
+// LINT-PATH: src/phy/fixture_stdio.cc
+// Library code must not print: drivers own the output channels (several CI
+// checks byte-compare driver output across thread counts), and a stray
+// printf in a hot path is also a serialization point.
+#include <cstdio>
+#include <iostream>
+
+namespace nplus::phy {
+
+void bad_printf(double esnr) {
+  std::printf("esnr=%f\n", esnr);  // EXPECT: no-stdio-library
+}
+
+void bad_fprintf(double esnr) {
+  std::fprintf(stderr, "esnr=%f\n", esnr);  // EXPECT: no-stdio-library
+}
+
+void bad_cout(double esnr) {
+  std::cout << esnr << "\n";  // EXPECT: no-stdio-library
+}
+
+void bad_cerr(double esnr) {
+  std::cerr << esnr << "\n";  // EXPECT: no-stdio-library
+}
+
+}  // namespace nplus::phy

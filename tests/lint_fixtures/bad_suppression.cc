@@ -1,0 +1,26 @@
+// LINT-PATH: src/sim/fixture_suppression.cc
+// Suppressions are part of the invariant surface: a bare suppression
+// comment hides a rule with no trace of why, so the linter requires a
+// one-line justification on every one. An unjustified suppression also
+// does not silence its target rule.
+namespace nplus::sim {
+
+bool bare_allow(double x) {
+  // lint:allow float-equal  EXPECT: suppression-justified
+  return x == 1.0;  // EXPECT: float-equal
+}
+
+bool unknown_rule(double x) {
+  // lint:allow not-a-rule: reasons  EXPECT: suppression-justified
+  return x > 1.0;
+}
+
+int bare_nolint(int v) {
+  return v + 1;  // NOLINT  EXPECT: suppression-justified
+}
+
+int bare_nolint_list(int v) {
+  return v + 2;  // NOLINT(bugprone-foo)  EXPECT: suppression-justified
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,40 @@
+// LINT-PATH: src/sim/fixture_unordered.cc
+// Iteration order of unordered containers is unspecified: drawing from an
+// Rng or accumulating floating-point stats inside such a loop makes the
+// draw/accumulation order (and thus every downstream byte) depend on hash
+// seeding and load factors.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nplus::sim {
+
+double bad_draw_in_loop(util::Rng& rng,
+                        std::unordered_map<int, double>& gains) {
+  double sum = 0.0;
+  for (auto& [key, gain] : gains) {
+    sum += gain * rng.uniform();  // EXPECT: unordered-iteration-draws
+  }
+  return sum;
+}
+
+double bad_stats_in_loop(const std::unordered_set<int>& nodes) {
+  util::RunningStats stats;
+  for (int n : nodes) {
+    stats.add(static_cast<double>(n));  // EXPECT: unordered-iteration-draws
+  }
+  return stats.mean();
+}
+
+double bad_iterator_loop(util::Rng& rng,
+                         std::unordered_map<int, double>& gains) {
+  double sum = 0.0;
+  for (auto it = gains.begin(); it != gains.end(); ++it) {
+    sum += rng.gaussian();  // EXPECT: unordered-iteration-draws
+  }
+  return sum;
+}
+
+}  // namespace nplus::sim

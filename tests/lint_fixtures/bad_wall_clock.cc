@@ -1,0 +1,27 @@
+// LINT-PATH: src/sim/fixture_wall_clock.cc
+// Library code must never read wall-clock time: a draw or decision keyed on
+// the clock differs run to run, breaking bit-identical replays.
+#include <chrono>
+#include <ctime>
+
+namespace nplus::sim {
+
+double bad_now_s() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_epoch() {
+  return time(nullptr);  // EXPECT: wall-clock
+}
+
+long bad_cpu() {
+  return clock();  // EXPECT: wall-clock
+}
+
+double bad_hr() {
+  auto t = std::chrono::high_resolution_clock::now();  // EXPECT: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,19 @@
+// LINT-PATH: src/phy/fixture_float_ok.cc
+// Tolerance comparisons, ordering comparisons, integer equality, and a
+// justified suppression for a deliberate exact-sentinel check.
+#include <cmath>
+
+namespace nplus::phy {
+
+bool tolerance(double esnr) { return std::abs(esnr - 1.0) < 1e-9; }
+
+bool ordering(double per) { return per >= 0.5 && per <= 1.0; }
+
+bool integer_eq(int mcs) { return mcs == 7; }
+
+bool sentinel(double offset_db) {
+  // lint:allow float-equal: offset is exactly 0.0 until the first advance
+  return offset_db != 0.0;
+}
+
+}  // namespace nplus::phy

@@ -1,0 +1,24 @@
+// LINT-PATH: bench/fixture_fork_ok.cc
+// Pure labels: literals, named constants, loop indices, arithmetic over
+// them, and static_cast (the one permitted call-shaped wrapper — it cannot
+// draw or read ambient state).
+#include "util/rng.h"
+
+namespace {
+
+constexpr std::uint64_t kDynamicsStream = 0xD1AA;
+
+void all_fine(nplus::util::Rng& rng, std::size_t i, int mcs_index) {
+  nplus::util::Rng a = rng.fork(1);
+  nplus::util::Rng b = rng.fork(kDynamicsStream);
+  nplus::util::Rng c = rng.fork(i + 1);
+  nplus::util::Rng d = rng.fork(1000 + i);
+  nplus::util::Rng e = rng.fork(static_cast<std::uint64_t>(mcs_index));
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  (void)e;
+}
+
+}  // namespace

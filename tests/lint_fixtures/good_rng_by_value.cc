@@ -1,0 +1,24 @@
+// LINT-PATH: src/sim/fixture_rng_ok.cc
+// The blessed spellings: pass by reference, fork an independent child
+// stream, or duplicate() when a peek copy is the deliberate point.
+#include "util/rng.h"
+
+namespace nplus::sim {
+
+double by_reference(util::Rng& rng) { return rng.uniform(); }
+
+double by_const_ref_state(const util::Rng& rng) {
+  return rng.save().cached;
+}
+
+double forked_child(util::Rng& rng) {
+  util::Rng child = rng.fork(7);
+  return child.uniform();
+}
+
+double deliberate_peek(util::Rng& rng) {
+  util::Rng peek = rng.duplicate();
+  return peek.uniform();
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,15 @@
+// LINT-PATH: bench/fixture_good_random.cc
+// The blessed path: every draw comes from a util::Rng stream, and
+// identifiers that merely contain "rand" (strand, operand) stay untouched.
+#include "util/rng.h"
+
+namespace {
+
+double fine(nplus::util::Rng& rng) { return rng.uniform(); }
+
+int strand(int x);   // a function whose name embeds "rand("
+int operand_count;   // a variable whose name embeds "rand"
+
+int also_fine() { return strand(operand_count); }
+
+}  // namespace

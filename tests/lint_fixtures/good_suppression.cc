@@ -1,0 +1,19 @@
+// LINT-PATH: src/sim/fixture_suppression_ok.cc
+// Justified suppressions: rule name, colon, one-line reason. The lint:allow
+// may sit on the offending line or the line directly above it.
+namespace nplus::sim {
+
+bool same_line(double offset_db) {
+  return offset_db != 0.0;  // lint:allow float-equal: exact-zero is the draw-free no-op sentinel
+}
+
+bool line_above(double dist_m) {
+  // lint:allow float-equal: 0.0 is the exact not-yet-initialized sentinel
+  return dist_m == 0.0;
+}
+
+int justified_nolint(int v) {
+  return v + 1;  // NOLINT(bugprone-example): fixture demonstrating a justified clang-tidy suppression
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,41 @@
+// LINT-PATH: src/sim/fixture_unordered_ok.cc
+// The blessed patterns: draw in key order (collect + sort first), draw
+// before the loop, or iterate an ordered container.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nplus::sim {
+
+double sorted_keys_then_draw(util::Rng& rng,
+                             std::unordered_map<int, double>& gains) {
+  std::vector<int> keys;
+  for (const auto& [key, gain] : gains) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  double sum = 0.0;
+  for (int k : keys) sum += gains[k] * rng.uniform();
+  return sum;
+}
+
+double ordered_map_is_fine(util::Rng& rng, std::map<int, double>& by_key) {
+  double sum = 0.0;
+  for (auto& [key, gain] : by_key) {
+    sum += gain * rng.uniform();
+  }
+  return sum;
+}
+
+double draw_outside(util::Rng& rng, std::unordered_map<int, double>& gains) {
+  const double scale = rng.uniform();
+  double max_gain = 0.0;
+  for (auto& [key, gain] : gains) {
+    max_gain = std::max(max_gain, gain);  // order-independent reduction
+  }
+  return scale * max_gain;
+}
+
+}  // namespace nplus::sim

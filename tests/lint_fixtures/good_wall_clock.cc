@@ -1,0 +1,24 @@
+// LINT-PATH: src/util/supervisor.cc
+// The supervisor watchdog is the one allowlisted wall-clock consumer: it
+// times out wedged items, and timeouts are quarantined (never folded into
+// results), so the clock cannot leak into published bytes. Identifiers that
+// merely *contain* "time" or "clock" must not trip the rule either.
+#include <chrono>
+
+namespace nplus::util {
+
+double watchdog_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Lookalike identifiers from the PHY layer: stf_time / preamble_time are
+// sample buffers, and a local named clock_offset is just a variable.
+int stf_time(int params);
+int preamble_time_samples() {
+  int clock_offset = stf_time(3);
+  return clock_offset;
+}
+
+}  // namespace nplus::util

@@ -56,7 +56,7 @@ TEST(Evolution, EvolveRhoOneIsNoopAndDrawFree) {
   util::Rng rng(7);
   channel::MimoChannel ch(2, 2, 1.0, {}, rng);
   const auto before = ch.taps();
-  util::Rng probe = rng;  // copies the stream state
+  util::Rng probe = rng.duplicate();  // copies the stream state
   ch.evolve(1.0, rng);
   EXPECT_EQ(ch.taps(), before);
   EXPECT_EQ(rng.uniform(), probe.uniform());  // no draws consumed
@@ -129,7 +129,7 @@ std::vector<channel::Location> square_positions() {
 
 TEST(Mobility, StaticModelIsDrawFreeNoop) {
   util::Rng rng(3);
-  util::Rng probe = rng;
+  util::Rng probe = rng.duplicate();
   sim::Mobility mob(square_positions(), {}, rng);
   mob.advance(1.0, rng);
   EXPECT_EQ(rng.uniform(), probe.uniform());
@@ -250,7 +250,7 @@ TEST(WorldDynamics, StaticAdvanceIsExactNoop) {
   const CMat belief_before = f.world.reciprocal_channel(0, 1, 7);
   const double snr_before = f.world.link_snr_db(0, 1);
   util::Rng dyn(5);
-  util::Rng probe = dyn;
+  util::Rng probe = dyn.duplicate();
   f.world.advance(f.positions, f.speeds, 0.05, {}, dyn);
   EXPECT_EQ(dyn.uniform(), probe.uniform());  // zero draws consumed
   const CMat& after = f.world.channel(0, 1, 7);

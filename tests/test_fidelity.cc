@@ -175,14 +175,14 @@ TEST(Fidelity, RoundProtocolTraceIdenticalAcrossModes) {
   phy_cfg.fidelity = sim::Fidelity::kFullPhy;
 
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
-    util::Rng world_rng_a = world_base;
-    util::Rng world_rng_p = world_base;
+    util::Rng world_rng_a = world_base.duplicate();
+    util::Rng world_rng_p = world_base.duplicate();
     const sim::World world_a = sim::make_world(topo, world_rng_a);
     const sim::World world_p = sim::make_world(topo, world_rng_p);
-    util::Rng round_parent = round_base;
+    util::Rng round_parent = round_base.duplicate();
     const util::Rng round_stream = round_parent.fork(100 + seed);
-    util::Rng rng_a = round_stream;
-    util::Rng rng_p = round_stream;  // identical child stream
+    util::Rng rng_a = round_stream.duplicate();
+    util::Rng rng_p = round_stream.duplicate();  // identical child stream
     const sim::RoundResult a =
         sim::run_nplus_round(world_a, topo.scenario, rng_a, abs_cfg);
     const sim::RoundResult p =
@@ -268,8 +268,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(sim::Preset::kThreePair, sim::Preset::kHiddenTerminal,
                       sim::Preset::kExposedTerminal,
                       sim::Preset::kDenseCell),
-    [](const ::testing::TestParamInfo<sim::Preset>& info) {
-      return sim::preset_name(info.param);
+    [](const ::testing::TestParamInfo<sim::Preset>& param_info) {
+      return sim::preset_name(param_info.param);
     });
 
 // --- Lazy world mode -----------------------------------------------------
@@ -284,8 +284,8 @@ TEST(LazyWorld, AccessOrderInvariantAndDeterministic) {
   cfg.lazy_channels = true;
 
   const util::Rng world_base = master.fork(2);  // fork once, copy per world
-  util::Rng wr1 = world_base;
-  util::Rng wr2 = world_base;
+  util::Rng wr1 = world_base.duplicate();
+  util::Rng wr2 = world_base.duplicate();
   const sim::World w1 = sim::make_world(topo, wr1, cfg);
   const sim::World w2 = sim::make_world(topo, wr2, cfg);
 
@@ -340,8 +340,8 @@ TEST(LazyWorld, SessionsReproduceAcrossInstances) {
   const util::Rng session_base = master.fork(3);
   sim::SessionResult res[2];
   for (int i = 0; i < 2; ++i) {
-    util::Rng wr = world_base;
-    util::Rng sr = session_base;
+    util::Rng wr = world_base.duplicate();
+    util::Rng sr = session_base.duplicate();
     const sim::World w = sim::make_world(topo, wr, cfg);
     sim::SessionConfig scfg;
     scfg.n_rounds = 20;

@@ -175,8 +175,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(sim::Preset::kThreePair, sim::Preset::kHiddenTerminal,
                       sim::Preset::kExposedTerminal,
                       sim::Preset::kDenseCell),
-    [](const ::testing::TestParamInfo<sim::Preset>& info) {
-      return sim::preset_name(info.param);
+    [](const ::testing::TestParamInfo<sim::Preset>& param_info) {
+      return sim::preset_name(param_info.param);
     });
 
 }  // namespace

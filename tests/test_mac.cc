@@ -251,7 +251,8 @@ TEST(Contend, WinnerUniformAcrossStationCounts) {
     for (int i = 0; i < trials; ++i) wins[contend(n, rng).winner]++;
     EXPECT_EQ(wins.size(), n);
     for (const auto& [w, count] : wins) {
-      EXPECT_NEAR(static_cast<double>(count) / trials, 1.0 / n, 0.035)
+      EXPECT_NEAR(static_cast<double>(count) / trials,
+                  1.0 / static_cast<double>(n), 0.035)
           << "n=" << n << " station " << w;
     }
   }

@@ -45,7 +45,7 @@ TEST(OfdmParams, CpScaling) {
   EXPECT_EQ(p.scaled_cp(), 32u);
   // CP fraction unchanged (the §4 requirement).
   EXPECT_DOUBLE_EQ(
-      static_cast<double>(p.scaled_cp()) / p.scaled_fft(),
+      static_cast<double>(p.scaled_cp()) / static_cast<double>(p.scaled_fft()),
       16.0 / 64.0);
 }
 

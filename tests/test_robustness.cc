@@ -529,7 +529,9 @@ TEST(CheckpointRunner, QuarantinedItemYieldsPartialResults) {
   ASSERT_EQ(outcome.completed.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(outcome.completed[i], i == 2 ? 0 : 1) << i;
-    if (i != 2) EXPECT_GT(outcome.results[i].rounds, 0u) << i;
+    if (i != 2) {
+      EXPECT_GT(outcome.results[i].rounds, 0u) << i;
+    }
   }
 }
 

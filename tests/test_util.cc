@@ -536,6 +536,90 @@ TEST(Cli, MalformedInputThrowsUsageError) {
   }
 }
 
+// Writes a raw container body plus its trailing CRC, bypassing
+// write_checkpoint_file so tests can craft CRC-valid but hostile payloads.
+void write_raw_checkpoint(const std::string& path, const ByteWriter& w) {
+  std::vector<std::uint8_t> body = w.data();
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(body.data(), 1, body.size(), f), body.size());
+  std::fclose(f);
+}
+
+constexpr std::uint32_t kTestMagic = 0x4B43504Eu;  // "NPCK"
+
+TEST(Checkpoint, HugeDeclaredHeaderSizeIsRejectedNotAllocated) {
+  const std::string path = "test_util_ckpt_hostile.bin";
+  // CRC-valid file whose header claims ~16 EiB: before the bounds check
+  // this reached resize() and died with bad_alloc instead of a clean error.
+  ByteWriter w;
+  w.u32(kTestMagic);
+  w.u32(1);                       // container version
+  w.u32(3);                       // payload version
+  w.u64(0xFFFFFFFFFFFFFF00ull);   // declared header size >> actual bytes
+  write_raw_checkpoint(path, w);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, HugeDeclaredItemCountIsRejectedNotAllocated) {
+  const std::string path = "test_util_ckpt_hostile.bin";
+  ByteWriter w;
+  w.u32(kTestMagic);
+  w.u32(1);
+  w.u32(3);
+  w.u64(0);                       // empty header (valid)
+  w.u64(0x2000000000000000ull);   // item count that reserve() cannot hold
+  write_raw_checkpoint(path, w);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, HugeDeclaredBlobSizeIsRejectedNotAllocated) {
+  const std::string path = "test_util_ckpt_hostile.bin";
+  ByteWriter w;
+  w.u32(kTestMagic);
+  w.u32(1);
+  w.u32(3);
+  w.u64(0);                       // empty header
+  w.u64(1);                       // one item...
+  w.u64(7);                       // ...with a plausible index
+  w.u64(0x7FFFFFFFFFFFFFFFull);   // and an absurd blob size
+  write_raw_checkpoint(path, w);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, LenientThreadsRejectsTrailingJunk) {
+  {
+    // "123456x" used to strtol-parse as 123456 threads; now the malformed
+    // value is consumed from argv but ignored with a warning.
+    FakeArgv a({"bench", "--threads=123456x", "out.json"});
+    int argc = a.argc;
+    char** argv = a.argv();
+    const std::size_t n = init_threads_from_cli(argc, argv, /*strict=*/false);
+    EXPECT_NE(n, 123456u);
+    ASSERT_EQ(argc, 2);  // flag consumed, positional preserved
+    EXPECT_STREQ(argv[1], "out.json");
+  }
+  {
+    FakeArgv a({"bench", "--threads", "3", "out.json"});
+    int argc = a.argc;
+    char** argv = a.argv();
+    EXPECT_EQ(init_threads_from_cli(argc, argv, /*strict=*/false), 3u);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "out.json");
+  }
+  // Restore the process-wide default so later tests see a clean pool.
+  FakeArgv reset({"bench"});
+  int argc = reset.argc;
+  init_threads_from_cli(argc, reset.argv(), /*strict=*/false);
+}
+
 TEST(Cli, CliMainMapsExceptionsToExitCodes) {
   char prog[] = "bench";
   char* argv[] = {prog, nullptr};
