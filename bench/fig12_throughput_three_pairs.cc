@@ -49,6 +49,12 @@ int main(int argc, char** argv) {
     const auto nplus_v = collect(0, link);
     const auto base_v = collect(1, link);
     std::printf("--- %s: throughput CDF [Mb/s] ---\n", title);
+    // percentile({}) is NaN by contract; an empty sweep must say so rather
+    // than render a column of bogus zeros.
+    if (nplus_v.empty() || base_v.empty()) {
+      std::printf("(no samples)\n\n");
+      return;
+    }
     std::printf("%-10s %8s %8s\n", "percentile", "n+", "802.11n");
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
       std::printf("%9.0f%% %8.2f %8.2f\n", p,

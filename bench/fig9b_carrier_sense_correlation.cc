@@ -5,6 +5,7 @@
 // projection, vs a clean separation with it.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -30,6 +31,12 @@ int main(int argc, char** argv) {
 
   auto print_cdf = [](const char* name, std::vector<double> v) {
     std::printf("%-28s", name);
+    // percentile({}) is NaN by contract, not a silent 0.0; say "no data"
+    // rather than printing five "nan" columns that look like a math bug.
+    if (v.empty()) {
+      std::printf("  (no samples)\n");
+      return;
+    }
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
       std::printf("  p%02.0f=%.3f", p, util::percentile(v, p));
     }
@@ -50,6 +57,7 @@ int main(int argc, char** argv) {
   // (the paper's "non-distinguishable area", ~18% without projection).
   auto overlap = [](const std::vector<double>& active,
                     std::vector<double> silent) {
+    if (active.empty() || silent.empty()) return std::nan("");
     const double threshold = util::percentile(std::move(silent), 90.0);
     int below = 0;
     for (double a : active) below += a <= threshold;

@@ -85,6 +85,14 @@ RULES = {
         "scope": ["src/"],
         "allow": ["src/util/cli.cc", "src/util/log.cc"],
     },
+    "no-file-io-library": {
+        "desc": "no direct file I/O from library code; the checkpoint and "
+                "trace writers are the only owners of on-disk artifacts "
+                "(versioned, CRC-sealed, atomic tmp+rename), so a stray "
+                "fopen cannot introduce an unversioned side channel",
+        "scope": ["src/"],
+        "allow": ["src/util/checkpoint.cc", "src/util/trace.cc"],
+    },
     "suppression-justified": {
         "desc": "every lint:allow and every clang-tidy NOLINT carries a "
                 "one-line justification after the rule name",
@@ -380,6 +388,17 @@ STDIO_PATTERNS = [
     (re.compile(r"std::(?:cout|cerr|clog)\b"), "iostream write"),
 ]
 
+FILE_IO_PATTERNS = [
+    (re.compile(r"(?<![A-Za-z0-9_])(?:std::)?(?:fopen|freopen|tmpfile)"
+                r"\s*\("), "file open"),
+    # fprintf/fputs are already no-stdio-library findings; this rule owns
+    # the byte-level FILE* accessors.
+    (re.compile(r"(?<![A-Za-z0-9_])(?:std::)?(?:fread|fwrite|fgets|fscanf)"
+                r"\s*\("), "FILE* read/write"),
+    (re.compile(r"std::(?:basic_)?[io]?fstream\b"), "fstream"),
+    (re.compile(r"std::filesystem::"), "std::filesystem call"),
+]
+
 ALLOW_RE = re.compile(r"lint:allow\s+([A-Za-z0-9-]+)\s*(:?)\s*(.*)")
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?\s*(?:\([^)]*\))?(.*)")
 
@@ -444,6 +463,11 @@ def run_rules(rel_path, text):
         for ln, msg in rule_pattern_scan(masked, STDIO_PATTERNS,
                                          "library code must not print"):
             findings.append((ln, "no-stdio-library", msg))
+    if in_scope("no-file-io-library"):
+        for ln, msg in rule_pattern_scan(
+                masked, FILE_IO_PATTERNS,
+                "only the checkpoint/trace writers touch disk"):
+            findings.append((ln, "no-file-io-library", msg))
     if in_scope("suppression-justified"):
         for ln, msg in rule_suppression_justified(masked):
             findings.append((ln, "suppression-justified", msg))

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "util/trace.h"
+
 namespace nplus::mac {
 
 TimerId EventSim::schedule_at(SimTime t, Handler fn) {
@@ -37,6 +39,10 @@ void EventSim::run(SimTime until) {
     }
     live_.erase(ev.seq);
     now_ = ev.t;
+    if (trace_ != nullptr) {
+      trace_->emit(util::TraceEvent::kSimEvent, now_, fired_, now_);
+    }
+    ++fired_;
     ev.fn();
   }
   // With an explicit horizon the clock always reaches it, even if the queue

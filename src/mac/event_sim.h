@@ -11,6 +11,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace nplus::util {
+class TraceRing;
+}
+
 namespace nplus::mac {
 
 using SimTime = double;  // seconds
@@ -54,6 +58,14 @@ class EventSim {
   // handler costs one allocation at schedule time, none at dispatch.
   void run(SimTime until = kNever);
 
+  // Optional telemetry sink (util/trace.h): when set, run() emits one
+  // kSimEvent record per dispatched (non-cancelled) event, carrying the
+  // kernel's fire counter and the event's sim time. Emission is draw-free
+  // and touches no kernel state the handlers can observe, so a traced
+  // simulation is bit-identical to an untraced one. nullptr (default)
+  // costs one branch per event.
+  void set_trace(util::TraceRing* trace) { trace_ = trace; }
+
   // Drops all pending events (used by tests).
   void clear();
 
@@ -77,6 +89,8 @@ class EventSim {
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;  // events dispatched over the kernel's lifetime
+  util::TraceRing* trace_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<TimerId> live_;       // scheduled, not fired/cancelled
   std::unordered_set<TimerId> cancelled_;  // cancelled, still in the heap

@@ -9,13 +9,16 @@
 
 #include "sim/audit.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace nplus::sim {
 namespace {
 
 // App-level checkpoint format version (the container has its own). Bump on
 // any change to the header blob or the SessionResult record layout.
-constexpr std::uint32_t kAppVersion = 1;
+// v2: SessionResult grew the round_duration_q quantile sketch (appended at
+// the end of the record).
+constexpr std::uint32_t kAppVersion = 2;
 
 void write_rng_state(const util::Rng::State& s, util::ByteWriter& w) {
   w.u64(s.gen.state);
@@ -115,6 +118,8 @@ void serialize_session_result(const SessionResult& r, util::ByteWriter& w) {
   write_u64_vec(f.retry_histogram, w);
   write_stats(f.outage_s, w);
   write_stats(f.recovery_s, w);
+  // v2: appended at the end so every pre-existing field keeps its offset.
+  r.round_duration_q.serialize(w);
 }
 
 SessionResult deserialize_session_result(util::ByteReader& r) {
@@ -153,6 +158,7 @@ SessionResult deserialize_session_result(util::ByteReader& r) {
   f.retry_histogram = read_u64_vec(r);
   f.outage_s = read_stats(r);
   f.recovery_s = read_stats(r);
+  out.round_duration_q = util::QuantileSketch::deserialize(r);
   return out;
 }
 
@@ -270,8 +276,21 @@ SweepOutcome CheckpointedRunner::run() {
         World world = make_world(topo, world_rng, items_[i].world);
         SessionConfig session_cfg = items_[i].session;
         session_cfg.cancel = &token;
+        // Ring i belongs to item i alone (single-producer by partition);
+        // emission is draw-free, so traced and untraced runs are
+        // bit-identical.
+        util::TraceRing* ring = nullptr;
+        if (cfg_.trace != nullptr && i < cfg_.trace->workers()) {
+          ring = &cfg_.trace->ring(i);
+          session_cfg.trace = ring;
+          ring->emit(util::TraceEvent::kItemStart, 0.0, i);
+        }
         SessionResult result =
             run_session(world, topo.scenario, session_rng, session_cfg);
+        if (ring != nullptr) {
+          ring->emit(util::TraceEvent::kItemEnd, result.duration_s,
+                     result.rounds, result.total_mbps);
+        }
         if (cfg_.chaos_mutate) cfg_.chaos_mutate(i, result);
         if (cfg_.audit) {
           audit_session_or_throw(

@@ -37,6 +37,10 @@
 #include "util/checkpoint.h"
 #include "util/supervisor.h"
 
+namespace nplus::util {
+class TraceCollector;
+}
+
 namespace nplus::sim {
 
 struct RunnerConfig {
@@ -70,6 +74,17 @@ struct RunnerConfig {
   // Test-only result corruption, applied before the audit/publish step —
   // the hook the invariant-auditor tests use to seed a violation.
   std::function<void(std::size_t, SessionResult&)> chaos_mutate;
+
+  // Optional telemetry (util/trace.h): a collector with >= items.size()
+  // rings. Item i writes exclusively into ring(i) — worker ids are logical
+  // item indices, so the post-hoc (worker, seq) merge is byte-identical at
+  // any thread count. The runner emits kItemStart/kItemEnd around each
+  // item and threads the ring into SessionConfig::trace (round + kernel
+  // events). Caveat: items restored from a checkpoint are not re-executed,
+  // so their rings stay empty on a resumed run; runner-level events whose
+  // order is scheduling-dependent (checkpoint writes) are deliberately not
+  // traced. nullptr disables tracing.
+  util::TraceCollector* trace = nullptr;
 };
 
 struct SweepOutcome {

@@ -10,6 +10,7 @@
 #include "baselines/dot11n.h"
 #include "mac/airtime.h"
 #include "mac/event_sim.h"
+#include "util/trace.h"
 
 namespace nplus::sim {
 
@@ -174,6 +175,10 @@ SessionResult run_session(const World& world, const Scenario& scenario,
   if (config.n_rounds == 0) return out;
 
   mac::EventSim sim;
+  sim.set_trace(config.trace);
+  if (config.trace != nullptr) {
+    config.trace->emit(util::TraceEvent::kSessionStart, 0.0, n_links);
+  }
   std::vector<double> link_bits(n_links, 0.0);
   util::RunningStats winners_per_round;
   util::RunningStats streams_per_round;
@@ -191,10 +196,15 @@ SessionResult run_session(const World& world, const Scenario& scenario,
     winners_per_round.add(static_cast<double>(res.winner_order.size()));
     streams_per_round.add(static_cast<double>(res.total_streams));
     out.round_duration.add(res.duration_s);
+    out.round_duration_q.add(res.duration_s);
     for (std::size_t l = 0; l < n_links; ++l) {
       link_bits[l] += res.links[l].delivered_bits;
     }
     busy_end_s = sim.now() + res.duration_s;
+    if (config.trace != nullptr) {
+      config.trace->emit(util::TraceEvent::kRoundEnd, busy_end_s,
+                         res.winner_order.size(), res.duration_s);
+    }
 
     if (config.snapshot_every > 0 &&
         out.rounds % config.snapshot_every == 0) {
@@ -218,6 +228,10 @@ SessionResult run_session(const World& world, const Scenario& scenario,
   finalize_session(out, link_bits, link_bits, winners_per_round,
                    streams_per_round, sim.now(), busy_end_s);
   out.mean_active_links = static_cast<double>(n_links);
+  if (config.trace != nullptr) {
+    config.trace->emit(util::TraceEvent::kSessionEnd, out.duration_s,
+                       out.rounds, out.duration_s);
+  }
   return out;
 }
 
@@ -275,6 +289,10 @@ SessionResult run_live_session(World& world, const Scenario& scenario,
   if (inj) round_cfg.faults = &*inj;
 
   mac::EventSim sim;
+  sim.set_trace(config.trace);
+  if (config.trace != nullptr) {
+    config.trace->emit(util::TraceEvent::kSessionStart, 0.0, n_links);
+  }
   std::vector<double> link_bits(n_links, 0.0);
   std::vector<double> goodput_bits(n_links, 0.0);
   util::RunningStats winners_per_round;
@@ -353,7 +371,12 @@ SessionResult run_live_session(World& world, const Scenario& scenario,
       winners_per_round.add(0.0);
       streams_per_round.add(0.0);
       out.round_duration.add(dyn.churn.idle_step_s);
+      out.round_duration_q.add(dyn.churn.idle_step_s);
       busy_end_s = sim.now() + dyn.churn.idle_step_s;
+      if (config.trace != nullptr) {
+        config.trace->emit(util::TraceEvent::kRoundEnd, busy_end_s, 0,
+                           dyn.churn.idle_step_s);
+      }
       maybe_snapshot_and_chain(round_fn);
       return;
     }
@@ -367,9 +390,14 @@ SessionResult run_live_session(World& world, const Scenario& scenario,
     winners_per_round.add(static_cast<double>(res.winner_order.size()));
     streams_per_round.add(static_cast<double>(res.total_streams));
     out.round_duration.add(res.duration_s);
+    out.round_duration_q.add(res.duration_s);
     out.degenerate_esnr += res.degenerate_esnr;
     if (inj) inj->add_degenerate_esnr(res.degenerate_esnr);
     busy_end_s = sim.now() + res.duration_s;
+    if (config.trace != nullptr) {
+      config.trace->emit(util::TraceEvent::kRoundEnd, busy_end_s,
+                         res.winner_order.size(), res.duration_s);
+    }
 
     // --- Delivery accounting. Fault-free: the round's (expected or
     // realized) delivered bits, goodput == throughput. Fault-aware: each
@@ -453,6 +481,10 @@ SessionResult run_live_session(World& world, const Scenario& scenario,
                    streams_per_round, sim.now(), busy_end_s);
   out.mean_active_links = active_links.mean();
   if (inj) out.faults = inj->stats();
+  if (config.trace != nullptr) {
+    config.trace->emit(util::TraceEvent::kSessionEnd, out.duration_s,
+                       out.rounds, out.duration_s);
+  }
   return out;
 }
 

@@ -18,8 +18,13 @@
 #include "sim/faults.h"
 #include "sim/mobility.h"
 #include "sim/round.h"
+#include "util/quantile.h"
 #include "util/stats.h"
 #include "util/supervisor.h"
+
+namespace nplus::util {
+class TraceRing;
+}
 
 namespace nplus::sim {
 
@@ -125,6 +130,14 @@ struct SessionConfig {
   // consumes no RNG draws: a session that is never cancelled is
   // bit-identical with or without the token.
   const util::CancelToken* cancel = nullptr;
+  // Optional telemetry sink (util/trace.h): when set, the session emits
+  // kSessionStart / kRoundEnd / kSessionEnd records into this per-worker
+  // ring and wires the EventSim kernel to emit kSimEvent per dispatched
+  // event. Emission is draw-free and every recorded time is a sim-clock
+  // value (never wall clock), so a traced session's RNG trace, results,
+  // and merged trace bytes are identical across thread counts and to an
+  // untraced run. nullptr (default) costs one branch per round.
+  util::TraceRing* trace = nullptr;
 
   // Rejects NaN/negative durations and rates, zero-probability nonsense,
   // and invalid fault plans with std::invalid_argument (clear message)
@@ -150,6 +163,11 @@ struct SessionResult {
   double mean_winners_per_round = 0.0;   // the session's "join rate"
   double mean_streams_per_round = 0.0;
   util::RunningStats round_duration;     // per-round airtime stats
+  // Streaming per-round airtime quantiles (p50/p95/p99 at city scale
+  // without O(rounds) memory). Fed exactly where round_duration is; the
+  // sweep layer merges per-item sketches in item order, which is
+  // deterministic and thread-count independent (util/quantile.h).
+  util::QuantileSketch round_duration_q;
   std::vector<SessionSnapshot> series;
   // Dynamics counters. On the static path idle_rounds is always 0 and
   // mean_active_links equals the link count (everything is always on).

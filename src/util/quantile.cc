@@ -1,0 +1,180 @@
+#include "util/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nplus::util {
+
+namespace {
+
+constexpr double kAlphaMin = 1e-4;
+constexpr double kAlphaMax = 0.5;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double alpha) {
+  if (!(alpha >= kAlphaMin)) alpha = kAlphaMin;  // also catches NaN
+  if (alpha > kAlphaMax) alpha = kAlphaMax;
+  alpha_ = alpha;
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::index_of(double mag) const {
+  // mag > 0 and normal by construction (add() filters zeros/subnormals).
+  // ceil(log_gamma(mag)): bucket i covers (gamma^(i-1), gamma^i].
+  return static_cast<std::int32_t>(std::ceil(std::log(mag) * inv_log_gamma_));
+}
+
+double QuantileSketch::value_of(std::int32_t idx) const {
+  // Midpoint of the bucket in log space: gamma^idx * 2/(1+gamma) is the
+  // canonical DDSketch representative with relative error <= alpha for
+  // every value in the bucket.
+  return std::pow(gamma_, static_cast<double>(idx)) * 2.0 / (1.0 + gamma_);
+}
+
+void QuantileSketch::add(double x) {
+  if (!std::isfinite(x)) {
+    ++rejected_;
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double mag = std::fabs(x);
+  if (!std::isnormal(mag)) {
+    // Exact zeros and subnormals: log-bucketing breaks down below
+    // DBL_MIN, and a physical quantity that small IS zero for reporting
+    // purposes. Counted exactly; quantile() reports them as 0.
+    ++zero_;
+  } else if (x > 0.0) {
+    ++pos_[index_of(mag)];
+  } else {
+    ++neg_[index_of(mag)];
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: incompatible accuracies");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  rejected_ += other.rejected_;
+  zero_ += other.zero_;
+  for (const auto& [idx, n] : other.pos_) pos_[idx] += n;
+  for (const auto& [idx, n] : other.neg_) neg_[idx] += n;
+}
+
+double QuantileSketch::quantile(double p) const {
+  if (count_ == 0 || std::isnan(p)) return std::nan("");
+  p = std::clamp(p, 0.0, 100.0);
+  if (p == 0.0) return min_;
+  if (p == 100.0) return max_;
+  // Target rank with the same nearest-rank convention util::percentile
+  // uses: rank = round(p/100 * (n-1)), 0-based.
+  const double n1 = static_cast<double>(count_ - 1);
+  const auto target =
+      static_cast<std::uint64_t>(std::llround(p / 100.0 * n1));
+  // Walk value order: negatives descending by |x| index (most negative
+  // first), then zeros, then positives ascending.
+  std::uint64_t seen = 0;
+  for (auto it = neg_.rbegin(); it != neg_.rend(); ++it) {
+    seen += it->second;
+    if (seen > target) {
+      return std::clamp(-value_of(it->first), min_, max_);
+    }
+  }
+  seen += zero_;
+  if (seen > target) return std::clamp(0.0, min_, max_);
+  for (const auto& [idx, cnt] : pos_) {
+    seen += cnt;
+    if (seen > target) return std::clamp(value_of(idx), min_, max_);
+  }
+  return max_;  // unreachable unless rounding left target == count_-1
+}
+
+double QuantileSketch::min() const {
+  return count_ == 0 ? std::nan("") : min_;
+}
+
+double QuantileSketch::max() const {
+  return count_ == 0 ? std::nan("") : max_;
+}
+
+void QuantileSketch::serialize(ByteWriter& w) const {
+  w.f64(alpha_);
+  w.u64(count_);
+  w.u64(rejected_);
+  w.u64(zero_);
+  w.f64(count_ == 0 ? 0.0 : min_);
+  w.f64(count_ == 0 ? 0.0 : max_);
+  w.u64(pos_.size());
+  for (const auto& [idx, cnt] : pos_) {
+    w.u32(static_cast<std::uint32_t>(idx));
+    w.u64(cnt);
+  }
+  w.u64(neg_.size());
+  for (const auto& [idx, cnt] : neg_) {
+    w.u32(static_cast<std::uint32_t>(idx));
+    w.u64(cnt);
+  }
+}
+
+QuantileSketch QuantileSketch::deserialize(ByteReader& r) {
+  QuantileSketch s(r.f64());
+  s.count_ = r.u64();
+  s.rejected_ = r.u64();
+  s.zero_ = r.u64();
+  s.min_ = r.f64();
+  s.max_ = r.f64();
+  const std::uint64_t npos = r.u64();
+  std::uint64_t total = s.zero_;
+  for (std::uint64_t i = 0; i < npos; ++i) {
+    const auto idx = static_cast<std::int32_t>(r.u32());
+    const std::uint64_t cnt = r.u64();
+    if (cnt == 0 || (i > 0 && s.pos_.rbegin()->first >= idx)) {
+      throw CheckpointError("QuantileSketch: corrupt positive buckets");
+    }
+    s.pos_.emplace(idx, cnt);
+    total += cnt;
+  }
+  const std::uint64_t nneg = r.u64();
+  for (std::uint64_t i = 0; i < nneg; ++i) {
+    const auto idx = static_cast<std::int32_t>(r.u32());
+    const std::uint64_t cnt = r.u64();
+    if (cnt == 0 || (i > 0 && s.neg_.rbegin()->first >= idx)) {
+      throw CheckpointError("QuantileSketch: corrupt negative buckets");
+    }
+    s.neg_.emplace(idx, cnt);
+    total += cnt;
+  }
+  if (total != s.count_) {
+    throw CheckpointError("QuantileSketch: bucket counts disagree with total");
+  }
+  return s;
+}
+
+bool QuantileSketch::operator==(const QuantileSketch& o) const {
+  if (alpha_ != o.alpha_ || count_ != o.count_ || rejected_ != o.rejected_ ||
+      zero_ != o.zero_ || pos_ != o.pos_ || neg_ != o.neg_) {
+    return false;
+  }
+  if (count_ == 0) return true;
+  return min_ == o.min_ && max_ == o.max_;
+}
+
+}  // namespace nplus::util

@@ -1,0 +1,99 @@
+// Streaming quantile sketch with deterministic, order-independent merges.
+//
+// City-scale sessions need p50/p95/p99 of per-round quantities (airtime,
+// delivered bits) without retaining one sample per round — O(rounds) raw
+// vectors are exactly what the telemetry layer exists to remove. This
+// sketch ingests a stream in O(1) per sample and bounded total memory, and
+// answers any quantile with a guaranteed RELATIVE value accuracy.
+//
+// Design: log-domain bucketing (the DDSketch family) rather than a
+// rank-based P²/GK sketch. A sample x > 0 lands in bucket
+// ceil(log_gamma(x)); the sketch is the bucket->count map (plus mirrored
+// negative buckets and an exact-zero counter). The deciding property is
+// that MERGING two sketches is plain bucket-count addition — exactly
+// commutative and associative — so merging per-worker sketches yields
+// byte-identical results regardless of how samples were partitioned
+// across 1, 2, or 4 workers or in which grouping the merge ran. Rank-based
+// sketches (P², GK, KLL) cannot offer that: their compaction depends on
+// arrival order, which would put the thread count back into the output
+// bytes. The repo's determinism contract wins the argument.
+//
+// Accuracy: quantile() returns a value v with |v - x_q| <= alpha * |x_q|
+// where x_q is the exact sample at that rank (the rank itself is exact:
+// counts are integers). p = 0 / p = 100 return the exact min/max. Memory
+// is bounded by the value DYNAMIC RANGE, not the sample count: one bucket
+// per occupied log-gamma interval, at most ~log_gamma(DBL_MAX/DBL_MIN)
+// buckets per sign (~71k absolute worst case at alpha = 0.01; a few dozen
+// for any physical quantity), each 12 bytes.
+//
+// Determinism: no randomness, no compaction heuristics; the serialized
+// form is a pure function of the ingested multiset (never of arrival or
+// merge order), so ByteWriter output is byte-comparable across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/checkpoint.h"
+
+namespace nplus::util {
+
+class QuantileSketch {
+ public:
+  // `alpha` is the relative value accuracy (0 < alpha < 1); 0.01 = 1%.
+  // Degenerate alphas are clamped into [1e-4, 0.5] — construction never
+  // yields a non-finite gamma.
+  explicit QuantileSketch(double alpha = 0.01);
+
+  // Ingests one sample. Any finite double is accepted (negative values go
+  // to the mirrored store, zeros and subnormals to the exact-zero
+  // counter); non-finite samples are dropped and counted in `rejected()`
+  // instead of poisoning the sketch.
+  void add(double x);
+
+  // Bucket-wise count addition: exactly commutative and associative, so
+  // any merge tree over any partition of the same samples produces the
+  // same sketch. Throws std::invalid_argument if the accuracies differ
+  // (their buckets are incompatible).
+  void merge(const QuantileSketch& other);
+
+  // Value at percentile p (0..100, clamped, NaN p treated as a contract
+  // violation -> returns NaN like the empty sketch). Empty sketch returns
+  // NaN — the explicit "no data" signal (see util::percentile's contract).
+  double quantile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t rejected() const { return rejected_; }
+  bool empty() const { return count_ == 0; }
+  double min() const;  // exact; NaN when empty
+  double max() const;  // exact; NaN when empty
+  double alpha() const { return alpha_; }
+
+  // Bit-exact serialization (checkpoint/trace reuse). The encoding is a
+  // pure function of the ingested multiset; deserialize(serialize(s))
+  // compares equal and continues accumulating identically.
+  void serialize(ByteWriter& w) const;
+  static QuantileSketch deserialize(ByteReader& r);
+
+  bool operator==(const QuantileSketch& o) const;
+
+ private:
+  // Signed bucket index for |x| in the log-gamma grid.
+  std::int32_t index_of(double mag) const;
+  double value_of(std::int32_t idx) const;  // bucket representative
+
+  double alpha_;
+  double gamma_;          // (1 + alpha) / (1 - alpha)
+  double inv_log_gamma_;  // 1 / ln(gamma)
+  std::uint64_t count_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t zero_ = 0;  // exact zeros and subnormals
+  double min_ = 0.0, max_ = 0.0;  // exact extremes (valid when count_ > 0)
+  // Ordered maps: iteration order is the value order, so quantile() and
+  // serialize() are deterministic by construction (and the determinism
+  // linter's unordered-iteration rule never applies).
+  std::map<std::int32_t, std::uint64_t> pos_;
+  std::map<std::int32_t, std::uint64_t> neg_;  // keyed on index of |x|
+};
+
+}  // namespace nplus::util

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+
+#include "util/json.h"
 
 namespace nplus::util {
 
@@ -26,7 +27,11 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double p) {
-  if (samples.empty() || std::isnan(p)) return 0.0;
+  // NaN, not 0.0: an empty sample set has no percentile, and the old 0.0
+  // sentinel was indistinguishable from a real measurement of zero — bench
+  // tables printed a bogus 0 that looked like "no throughput" instead of
+  // "no data". NaN propagates and json_double renders it as null.
+  if (samples.empty() || std::isnan(p)) return std::nan("");
   std::sort(samples.begin(), samples.end());
   // Clamp p into [0, 100]: callers sweep percentile grids programmatically,
   // and an out-of-range p must saturate at the extremes instead of indexing
@@ -61,6 +66,7 @@ Histogram::Histogram(double lo, double hi, int nbuckets) : lo_(lo) {
   // never yields non-finite bounds and add() stays in range.
   if (nbuckets < 1) nbuckets = 1;
   if (!(hi > lo)) hi = lo + 1.0;
+  hi_ = hi;
   width_ = (hi - lo) / nbuckets;
   buckets_.reserve(static_cast<std::size_t>(nbuckets));
   for (int i = 0; i < nbuckets; ++i) {
@@ -69,19 +75,27 @@ Histogram::Histogram(double lo, double hi, int nbuckets) : lo_(lo) {
 }
 
 void Histogram::add(double x, double y) {
-  if (!(x >= lo_)) return;  // also rejects NaN x
-  // Range-check in floating point BEFORE the integer cast: converting a
-  // double beyond size_t's range (x huge or +inf) is undefined, not merely
-  // out of range.
+  // Accept the CLOSED range [lo, hi]; the two comparisons also reject NaN.
+  // The old check rejected `f >= buckets_.size()`, which silently dropped
+  // samples landing exactly on the upper bound — a value of exactly `hi`
+  // (common for saturated metrics pinned at a cap) never appeared in the
+  // figure. Range-check in floating point BEFORE the integer cast:
+  // converting a double beyond size_t's range (x huge or +inf) is
+  // undefined, not merely out of range.
+  if (!(x >= lo_) || !(x <= hi_)) return;
   const double f = (x - lo_) / width_;
-  if (f >= static_cast<double>(buckets_.size())) return;
-  buckets_[static_cast<std::size_t>(f)].stats.add(y);
+  // x == hi (and near-hi values whose division rounds up) land at index
+  // nbuckets; fold them into the last bucket.
+  const std::size_t last = buckets_.size() - 1;
+  const std::size_t idx =
+      f >= static_cast<double>(buckets_.size())
+          ? last
+          : std::min(static_cast<std::size_t>(f), last);
+  buckets_[idx].stats.add(y);
 }
 
 std::string bucket_label(const Bucket& b) {
-  std::ostringstream os;
-  os << b.lo << "-" << b.hi;
-  return os.str();
+  return json_double(b.lo) + "-" + json_double(b.hi);
 }
 
 }  // namespace nplus::util

@@ -51,7 +51,12 @@ class RunningStats {
 
 // Percentile of a sample set (linear interpolation between order statistics).
 // p is clamped into [0, 100] (out-of-range requests saturate at the min/max
-// sample). Returns 0 for an empty sample or a NaN p.
+// sample). An empty sample or a NaN p returns NaN — "no data" must be
+// distinguishable from a genuine 0.0 (which throughput and latency samples
+// can legitimately produce), and NaN propagates loudly through downstream
+// arithmetic instead of quietly biasing a mean or a CI diff. Callers that
+// want to print must check std::isnan (util::json_double renders it as
+// "null").
 double percentile(std::vector<double> samples, double p);
 
 // Empirical CDF evaluated over the sorted samples: returns (x, F(x)) pairs,
@@ -74,16 +79,22 @@ class Histogram {
   // to a single unit-width bucket at `lo` (bounds stay finite, add() stays
   // in range) instead of producing NaN/inf bucket edges.
   Histogram(double lo, double hi, int nbuckets);
-  // Adds y-value `y` into the bucket containing `x`; out-of-range x ignored.
+  // Adds y-value `y` into the bucket containing `x`. The histogram covers
+  // the CLOSED range [lo, hi]: the exact upper bound folds into the last
+  // bucket (every other bucket stays half-open [b.lo, b.hi)). x outside
+  // [lo, hi] or NaN is ignored.
   void add(double x, double y);
   const std::vector<Bucket>& buckets() const { return buckets_; }
 
  private:
-  double lo_, width_;
+  double lo_, hi_, width_;
   std::vector<Bucket> buckets_;
 };
 
-// Renders "lo-hi" labels like the paper's x axis ("7.5-12.5").
+// Renders "lo-hi" labels like the paper's x axis ("7.5-12.5"). Bounds are
+// formatted with util::json_double (shortest round-trippable form), so
+// adjacent buckets whose edges differ only past the default ostream
+// precision get distinct labels.
 std::string bucket_label(const Bucket& b);
 
 }  // namespace nplus::util

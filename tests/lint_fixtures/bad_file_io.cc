@@ -1,0 +1,34 @@
+// LINT-PATH: src/sim/fixture_file_io.cc
+// Library code must not touch the filesystem: every on-disk artifact goes
+// through the checkpoint or trace writer (versioned header, CRC seal,
+// atomic tmp+rename). A stray fopen in sim/ would create an unversioned
+// side channel that resume and the byte-compare jobs cannot see.
+#include <cstdio>
+#include <fstream>
+
+namespace nplus::sim {
+
+void bad_fopen(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");  // EXPECT: no-file-io-library
+  if (f != nullptr) {
+    double x = 1.0;
+    std::fwrite(&x, sizeof(x), 1, f);  // EXPECT: no-file-io-library
+    std::fclose(f);
+  }
+}
+
+void bad_fread(std::FILE* f) {
+  char buf[16];
+  std::fread(buf, 1, sizeof(buf), f);  // EXPECT: no-file-io-library
+}
+
+void bad_ofstream(const char* path) {
+  std::ofstream out(path);  // EXPECT: no-file-io-library
+  out << 1.0;
+}
+
+void bad_filesystem(const char* path) {
+  std::filesystem::remove(path);  // EXPECT: no-file-io-library
+}
+
+}  // namespace nplus::sim

@@ -1,0 +1,23 @@
+// LINT-PATH: src/util/trace.cc
+// The trace writer (like src/util/checkpoint.cc) is the allowlisted owner
+// of on-disk artifacts, so its fopen/fwrite are exempt by design; and
+// outside src/ — bench drivers, tests — file I/O is always fine. An
+// "fopen" inside a string literal must never match either.
+#include <cstdio>
+#include <string>
+
+namespace nplus::util {
+
+void write_trace_bytes(const char* path, const char* data, size_t n) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f != nullptr) {
+    std::fwrite(data, 1, n, f);
+    std::fclose(f);
+  }
+}
+
+std::string describe() {
+  return "library code never calls fopen( directly";
+}
+
+}  // namespace nplus::util

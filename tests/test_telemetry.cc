@@ -1,0 +1,433 @@
+// Telemetry layer (ROADMAP item 5): streaming quantile sketch, binary event
+// trace, and the JSON number seam — the pieces whose byte-level determinism
+// the perf-regression harness stands on.
+//
+// The load-bearing properties, each pinned here:
+//   - QuantileSketch answers within its advertised relative-error bound on
+//     hostile shapes (constant, heavy-tail, negatives, tiny n), not just on
+//     friendly uniform data.
+//   - Merging sketches is exactly associative and partition-independent:
+//     the SERIALIZED BYTES of (a+b)+c equal a+(b+c) equal the unsplit
+//     stream, which is what makes sweep results thread-count invariant.
+//   - Trace rings keep the newest records with honest drop accounting, and
+//     the collector's merge is a pure function of per-worker streams.
+//   - NPTR files survive the same hostile-file battery as checkpoints:
+//     corrupt input throws, never parses as junk.
+//   - json_double output re-parses to the exact bit pattern written.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/checkpoint.h"
+#include "util/json.h"
+#include "util/quantile.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace nplus::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// QuantileSketch accuracy
+// ---------------------------------------------------------------------------
+
+// The sketch's own rank rule (nearest rank over n-1 gaps), applied to the
+// exact sorted sample, so accuracy checks isolate the bucketing error from
+// rank-definition mismatches.
+double exact_nearest_rank(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const auto target = static_cast<std::size_t>(
+      std::llround(p / 100.0 * static_cast<double>(v.size() - 1)));
+  return v[target];
+}
+
+void expect_within_alpha(const QuantileSketch& q,
+                         const std::vector<double>& values, double p,
+                         double alpha) {
+  const double est = q.quantile(p);
+  const double exact = exact_nearest_rank(values, p);
+  // DDSketch guarantee: the midpoint estimate is within alpha relative
+  // error of the true value (of its magnitude); exact for zero.
+  if (exact == 0.0) {
+    EXPECT_EQ(est, 0.0) << "p" << p;
+  } else {
+    EXPECT_NEAR(est, exact, std::abs(exact) * alpha * 1.0001)
+        << "p" << p << " exact=" << exact;
+  }
+}
+
+TEST(QuantileSketch, UniformStreamWithinRelativeErrorBound) {
+  const double alpha = 0.01;
+  QuantileSketch q(alpha);
+  std::vector<double> values;
+  Rng rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform() * 50.0 + 1e-3;
+    values.push_back(x);
+    q.add(x);
+  }
+  EXPECT_EQ(q.count(), 20000u);
+  for (double p : {0.0, 1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    expect_within_alpha(q, values, p, alpha);
+  }
+  // min/max are tracked exactly, not bucketed.
+  EXPECT_EQ(q.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(q.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(QuantileSketch, HeavyTailSpanningManyDecades) {
+  // Log-bucketed sketches must hold their RELATIVE bound even when the
+  // sample spans ~12 orders of magnitude — the regime where fixed-width
+  // histograms (util::Histogram) lose the tail entirely.
+  const double alpha = 0.02;
+  QuantileSketch q(alpha);
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::pow(10.0, rng.uniform() * 12.0 - 6.0);
+    values.push_back(x);
+    q.add(x);
+  }
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    expect_within_alpha(q, values, p, alpha);
+  }
+}
+
+TEST(QuantileSketch, ConstantStreamIsExact) {
+  QuantileSketch q(0.01);
+  for (int i = 0; i < 1000; ++i) q.add(0.0025);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    // Every quantile of a constant stream is that constant; the [min,max]
+    // clamp makes this exact despite bucket-midpoint rounding.
+    EXPECT_EQ(q.quantile(p), 0.0025) << "p" << p;
+  }
+}
+
+TEST(QuantileSketch, TinySamplesAndSignMix) {
+  QuantileSketch q(0.01);
+  const std::vector<double> values = {-3.0, 0.0, 2.0};
+  for (double v : values) q.add(v);
+  EXPECT_EQ(q.quantile(0.0), -3.0);
+  EXPECT_EQ(q.quantile(100.0), 2.0);
+  // Rank 1 of 3 is the zero sample, stored exactly.
+  EXPECT_EQ(q.quantile(50.0), 0.0);
+  // Negative values keep the relative bound on their magnitude.
+  EXPECT_NEAR(q.quantile(10.0), -3.0, 3.0 * 0.011);
+}
+
+TEST(QuantileSketch, EmptyAndRejectedInputs) {
+  QuantileSketch q(0.01);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(std::isnan(q.quantile(50.0)));  // empty -> NaN, like percentile()
+  q.add(std::nan(""));
+  q.add(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(q.empty());  // non-finite never enters the distribution
+  EXPECT_EQ(q.rejected(), 2u);
+  q.add(1.0);
+  EXPECT_TRUE(std::isnan(q.quantile(std::nan(""))));  // NaN p -> NaN
+  EXPECT_EQ(q.quantile(50.0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Merge: exactly associative, partition-independent, byte-identical
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> sketch_bytes(const QuantileSketch& q) {
+  ByteWriter w;
+  q.serialize(w);
+  return w.data();
+}
+
+TEST(QuantileSketch, MergeIsExactlyAssociativeByteForByte) {
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.gaussian() * 10.0);
+  }
+
+  // The unsplit reference, and 1/2/4-way partitions of the same stream.
+  QuantileSketch whole(0.01);
+  for (double v : values) whole.add(v);
+
+  for (std::size_t parts : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<QuantileSketch> shards(parts, QuantileSketch(0.01));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shards[i % parts].add(values[i]);
+    }
+    // Left fold a+(b+(c+d)) ...
+    QuantileSketch left(0.01);
+    for (const auto& s : shards) left.merge(s);
+    // ... and right fold ((a+b)+c)+d in reversed order.
+    QuantileSketch right(0.01);
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+      right.merge(*it);
+    }
+    EXPECT_EQ(left, whole) << parts << " shards (left fold)";
+    EXPECT_EQ(right, whole) << parts << " shards (right fold)";
+    EXPECT_EQ(sketch_bytes(left), sketch_bytes(whole)) << parts << " shards";
+    EXPECT_EQ(sketch_bytes(right), sketch_bytes(whole)) << parts << " shards";
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAlpha) {
+  QuantileSketch a(0.01), b(0.02);
+  b.add(1.0);
+  // Merging incompatible bucket geometries would silently corrupt the
+  // distribution; it must refuse instead.
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, SerializeRoundTripAndHostileBytes) {
+  QuantileSketch q(0.005);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) q.add(rng.uniform() * 2.0 - 1.0);
+  q.add(0.0);
+  q.add(std::nan(""));  // rejected_ must survive the round trip too
+
+  const std::vector<std::uint8_t> bytes = sketch_bytes(q);
+  {
+    ByteReader r(bytes);
+    const QuantileSketch back = QuantileSketch::deserialize(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(back, q);
+    EXPECT_EQ(back.quantile(95.0), q.quantile(95.0));
+  }
+  // Truncated payload: the reader's bounds check must throw, not read junk.
+  {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 5);
+    ByteReader r(cut);
+    EXPECT_THROW(QuantileSketch::deserialize(r), CheckpointError);
+  }
+  // A zero bucket count is structurally invalid (empty buckets are simply
+  // absent from the map) — deserialize must reject, not store it.
+  {
+    ByteWriter w;
+    w.f64(0.01);  // alpha
+    w.u64(5);     // count
+    w.u64(0);     // rejected
+    w.u64(0);     // zero
+    w.f64(1.0);   // min
+    w.f64(2.0);   // max
+    w.u64(1);     // one positive bucket...
+    w.u32(3);
+    w.u64(0);     // ...claiming zero members
+    w.u64(0);     // no negative buckets
+    const auto bad = w.data();
+    ByteReader r(bad);
+    EXPECT_THROW(QuantileSketch::deserialize(r), CheckpointError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace rings and the collector merge
+// ---------------------------------------------------------------------------
+
+TEST(TraceRing, SequencesAndDropOldest) {
+  TraceRing ring(3, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.emit(TraceEvent::kRoundEnd, 0.001 * static_cast<double>(i), i);
+  }
+  EXPECT_EQ(ring.emitted(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+
+  const std::vector<TraceRecord> kept = ring.drain();
+  ASSERT_EQ(kept.size(), 4u);
+  // Drop-oldest: the survivors are the LAST four emissions, seq intact, so
+  // a truncated trace still shows what happened just before the end.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].seq, 6 + i);
+    EXPECT_EQ(kept[i].worker, 3u);
+    EXPECT_EQ(kept[i].a, 6 + i);
+    EXPECT_EQ(kept[i].type,
+              static_cast<std::uint32_t>(TraceEvent::kRoundEnd));
+  }
+}
+
+TEST(TraceCollector, MergeIsWorkerMajorRegardlessOfEmissionOrder) {
+  TraceCollector c(3, 16);
+  // Interleave emissions across workers in a deliberately scrambled order,
+  // as concurrent item execution would.
+  c.ring(2).emit(TraceEvent::kItemStart, 0.0, 2);
+  c.ring(0).emit(TraceEvent::kItemStart, 0.0, 0);
+  c.ring(2).emit(TraceEvent::kItemEnd, 1.0, 2);
+  c.ring(1).emit(TraceEvent::kItemStart, 0.0, 1);
+  c.ring(0).emit(TraceEvent::kItemEnd, 2.0, 0);
+  c.ring(1).emit(TraceEvent::kItemEnd, 3.0, 1);
+
+  const std::vector<TraceRecord> merged = c.merge();
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_EQ(c.total_emitted(), 6u);
+  EXPECT_EQ(c.total_dropped(), 0u);
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+    // Strict (worker, seq) order: the global timeline is a pure function
+    // of the per-worker streams, not of completion order.
+    const bool ordered =
+        merged[i].worker < merged[i + 1].worker ||
+        (merged[i].worker == merged[i + 1].worker &&
+         merged[i].seq < merged[i + 1].seq);
+    EXPECT_TRUE(ordered) << "at " << i;
+  }
+  EXPECT_EQ(merged[0].worker, 0u);
+  EXPECT_EQ(merged[5].worker, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// NPTR files: round trip + the hostile-file battery
+// ---------------------------------------------------------------------------
+
+// Writes raw bytes plus their trailing CRC, bypassing write_trace_file so
+// tests can craft CRC-valid but structurally hostile NPTR payloads (same
+// idiom as test_util.cc's write_raw_checkpoint).
+void write_raw_trace(const std::string& path, const ByteWriter& w) {
+  std::vector<std::uint8_t> body = w.data();
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(body.data(), 1, body.size(), f), body.size());
+  std::fclose(f);
+}
+
+constexpr std::uint32_t kNptrMagic = 0x5254504Eu;  // "NPTR"
+
+TEST(TraceFile, RoundTripsRecordsExactly) {
+  const std::string path = "test_telemetry_trace.nptr";
+  TraceCollector c(2, 8);
+  c.ring(0).emit(TraceEvent::kSessionStart, 0.0, 4);
+  c.ring(0).emit(TraceEvent::kRoundEnd, 0.0015, 2, 0.0015);
+  c.ring(1).emit(TraceEvent::kSimEvent, 0.25, 17, 0.25);
+  const std::vector<TraceRecord> merged = c.merge();
+
+  write_trace_file(path, merged);
+  EXPECT_EQ(read_trace_file(path), merged);
+
+  // Empty traces are a valid file, not a special case.
+  write_trace_file(path, {});
+  EXPECT_TRUE(read_trace_file(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, HostileFilesAreRejectedNotParsed) {
+  const std::string path = "test_telemetry_hostile.nptr";
+
+  // Missing file.
+  std::remove(path.c_str());
+  EXPECT_THROW(read_trace_file(path), CheckpointError);
+
+  // Too short to hold even the header + CRC.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite("NPTR", 1, 4, f), 4u);
+    std::fclose(f);
+    EXPECT_THROW(read_trace_file(path), CheckpointError);
+  }
+
+  // Wrong magic (CRC itself valid).
+  {
+    ByteWriter w;
+    w.u32(0x4B43504Eu);  // "NPCK" — a checkpoint is not a trace
+    w.u32(1);
+    w.u64(0);
+    write_raw_trace(path, w);
+    EXPECT_THROW(read_trace_file(path), CheckpointError);
+  }
+
+  // Unsupported future version.
+  {
+    ByteWriter w;
+    w.u32(kNptrMagic);
+    w.u32(999);
+    w.u64(0);
+    write_raw_trace(path, w);
+    EXPECT_THROW(read_trace_file(path), CheckpointError);
+  }
+
+  // Declared record count far beyond the actual bytes: must be rejected by
+  // the size bound, not fed to a multi-exabyte resize().
+  {
+    ByteWriter w;
+    w.u32(kNptrMagic);
+    w.u32(1);
+    w.u64(0x0FFFFFFFFFFFFFFFull);
+    write_raw_trace(path, w);
+    EXPECT_THROW(read_trace_file(path), CheckpointError);
+  }
+
+  // Trailing bytes after the declared records: a half-written or spliced
+  // file, not a trace.
+  {
+    ByteWriter w;
+    w.u32(kNptrMagic);
+    w.u32(1);
+    w.u64(0);       // zero records...
+    w.u64(0xDEAD);  // ...followed by unexplained bytes
+    write_raw_trace(path, w);
+    EXPECT_THROW(read_trace_file(path), CheckpointError);
+  }
+
+  // Flip one payload byte in a well-formed file: CRC must catch it.
+  {
+    TraceCollector c(1, 4);
+    c.ring(0).emit(TraceEvent::kItemStart, 0.0, 0);
+    write_trace_file(path, c.merge());
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 18, SEEK_SET);
+    int byte = std::fgetc(f);
+    std::fseek(f, 18, SEEK_SET);
+    std::fputc(byte ^ 0x10, f);
+    std::fclose(f);
+    EXPECT_THROW(read_trace_file(path), CheckpointError);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// json_double: the emitted text must re-parse to the exact bit pattern
+// ---------------------------------------------------------------------------
+
+TEST(JsonDouble, OutputReparsesToExactBits) {
+  std::vector<double> cases = {0.0,    -0.0,   1.0,     -1.5,
+                               1e-300, 1e300,  1.0 / 3.0, 0.1,
+                               123456789.123456789, 5e-324};
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    cases.push_back((rng.uniform() - 0.5) * std::pow(10.0, rng.uniform() * 40.0 - 20.0));
+  }
+  for (double v : cases) {
+    const std::string s = json_double(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    // Bit-exact, not just close: the perf gate byte-compares files whose
+    // numbers were printed by this function.
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof(double)), 0)
+        << v << " -> \"" << s << "\" -> " << back;
+  }
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::nan("")), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonEscape, ControlAndQuoteHandling) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("nul\x01", 4)), "nul\\u0001");
+}
+
+}  // namespace
+}  // namespace nplus::util

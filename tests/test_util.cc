@@ -242,8 +242,13 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
 }
 
-TEST(Percentile, EmptyReturnsZero) {
-  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+TEST(Percentile, EmptyReturnsNaN) {
+  // Regression: the empty case used to return a silent 0.0, which bench
+  // tables printed as a real measurement. "No data" is now NaN — loudly
+  // distinct from a genuine zero sample.
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100)));
 }
 
 TEST(Percentile, OutOfRangePClampsToExtremes) {
@@ -257,9 +262,9 @@ TEST(Percentile, OutOfRangePClampsToExtremes) {
   EXPECT_DOUBLE_EQ(percentile(v, -0.0001), 1.0);
   EXPECT_DOUBLE_EQ(percentile(v, -50), 1.0);
   // NaN p slips through a plain clamp (both comparisons are false) and
-  // would turn into an arbitrary index; it must return the empty-sample
-  // sentinel instead.
-  EXPECT_DOUBLE_EQ(percentile(v, std::nan("")), 0.0);
+  // would turn into an arbitrary index; it must return the no-data NaN
+  // instead.
+  EXPECT_TRUE(std::isnan(percentile(v, std::nan(""))));
 }
 
 TEST(Percentile, SingleSampleAnyP) {
@@ -313,6 +318,21 @@ TEST(Histogram, DegenerateParametersCollapseToOneSafeBucket) {
     for (const auto& b : h.buckets()) total += b.stats.count();
     EXPECT_EQ(total, 1u);  // x = 5.0 is in range for every collapsed shape
   }
+}
+
+TEST(Histogram, TopEdgeFoldsIntoLastBucket) {
+  // Regression: `f >= buckets_.size()` rejected x == hi exactly, so a
+  // metric pinned at the histogram's cap silently vanished from Fig. 11.
+  // The range is closed at the top: [lo, hi].
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0, 7.0);  // exact upper bound -> last bucket
+  EXPECT_EQ(h.buckets()[4].stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.buckets()[4].stats.mean(), 7.0);
+  h.add(std::nextafter(10.0, 11.0), 1.0);  // just past hi: still ignored
+  EXPECT_EQ(h.buckets()[4].stats.count(), 1u);
+  // The exact lower bound keeps working too (closed at both ends).
+  h.add(0.0, 3.0);
+  EXPECT_EQ(h.buckets()[0].stats.count(), 1u);
 }
 
 TEST(Histogram, NanInputsIgnored) {
