@@ -11,6 +11,8 @@
 #include "dsp/fft.h"
 #include "phy/ofdm.h"
 #include "linalg/decomp.h"
+#include "linalg/simd/batch.h"
+#include "linalg/simd/dispatch.h"
 #include "linalg/subspace.h"
 #include "nulling/compression.h"
 #include "nulling/precoder.h"
@@ -312,6 +314,109 @@ void BM_RxChainSubcarrier_Workspace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RxChainSubcarrier_Workspace)->Unit(benchmark::kMicrosecond);
+
+// --- SIMD batch engine ---------------------------------------------------
+// The lane-parallel counterparts of the scalar RX chain above. Lanes are
+// data subcarriers; the per-iteration cost includes the SoA gather and the
+// per-lane read-back, so _SimdBatch vs _Workspace is the honest end-to-end
+// speedup of the batched equalizer, not a kernel-only number. The
+// _ForcedScalar twins run the identical batch code path with dispatch
+// pinned to the scalar reference kernels, isolating the vector-ISA gain
+// from the SoA-layout gain.
+
+void rx_chain_simd_batch(benchmark::State& state) {
+  util::Rng rng(13);
+  const std::size_t n_rx = 3;
+  const std::size_t n = 64;
+  std::vector<phy::Samples> rx(n_rx);
+  for (auto& s : rx) {
+    s.resize(80);
+    for (auto& v : s) v = rng.cgaussian();
+  }
+  std::vector<CMat> combiner(53);
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    combiner[static_cast<std::size_t>(k + 26)] = random_matrix(2, n_rx, rng);
+  }
+  static const auto data_sc = phy::data_subcarriers();
+  const std::size_t lanes = data_sc.size();
+  const dsp::FftPlan plan(n);
+  std::vector<std::complex<double>> bins(n_rx * n);
+  linalg::simd::CBatch cb(2, n_rx, lanes);
+  linalg::simd::CBatch yb(n_rx, 1, lanes);
+  linalg::simd::CBatch sb;
+  std::vector<std::size_t> lane_bin(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    cb.set_lane(l, combiner[static_cast<std::size_t>(data_sc[l] + 26)]);
+    lane_bin[l] = phy::subcarrier_bin(data_sc[l], n);
+  }
+  for (auto _ : state) {
+    for (std::size_t a = 0; a < n_rx; ++a) {
+      std::copy(rx[a].begin() + 16, rx[a].begin() + 80,
+                bins.begin() + static_cast<long>(a * n));
+    }
+    plan.forward_batch(bins.data(), n_rx);
+    double* yr = yb.re();
+    double* yi = yb.im();
+    for (std::size_t a = 0; a < n_rx; ++a) {
+      const std::complex<double>* row = bins.data() + a * n;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        yr[a * lanes + l] = row[lane_bin[l]].real();
+        yi[a * lanes + l] = row[lane_bin[l]].imag();
+      }
+    }
+    linalg::simd::matvec(cb, yb, sb);
+    double acc = 0.0;
+    const double* sr = sb.re();
+    const double* si = sb.im();
+    for (std::size_t l = 0; l < lanes; ++l) {
+      acc += sr[l] * sr[l] + si[l] * si[l];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_RxChainSubcarrier_SimdBatch(benchmark::State& state) {
+  rx_chain_simd_batch(state);
+}
+BENCHMARK(BM_RxChainSubcarrier_SimdBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_RxChainSubcarrier_SimdForcedScalar(benchmark::State& state) {
+  linalg::simd::set_force_scalar(true);
+  rx_chain_simd_batch(state);
+  linalg::simd::set_force_scalar(false);
+}
+BENCHMARK(BM_RxChainSubcarrier_SimdForcedScalar)
+    ->Unit(benchmark::kMicrosecond);
+
+void simd_matvec_kernel(benchmark::State& state) {
+  // Kernel-only view: one dispatched 2x3 matvec across 48 lanes, no
+  // gather/scatter. Compare against BM_RxChainSubcarrier_Workspace's 48
+  // scalar mul_into calls for the pure kernel speedup.
+  util::Rng rng(14);
+  const std::size_t lanes = 48;
+  linalg::simd::CBatch a(2, 3, lanes);
+  linalg::simd::CBatch x(3, 1, lanes);
+  linalg::simd::CBatch out;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    a.set_lane(l, random_matrix(2, 3, rng));
+    x.set_lane(l, random_matrix(3, 1, rng));
+  }
+  for (auto _ : state) {
+    linalg::simd::matvec(a, x, out);
+    benchmark::DoNotOptimize(out.re()[0]);
+  }
+}
+
+void BM_SimdMatvec2x3x48(benchmark::State& state) { simd_matvec_kernel(state); }
+BENCHMARK(BM_SimdMatvec2x3x48);
+
+void BM_SimdMatvec2x3x48_ForcedScalar(benchmark::State& state) {
+  linalg::simd::set_force_scalar(true);
+  simd_matvec_kernel(state);
+  linalg::simd::set_force_scalar(false);
+}
+BENCHMARK(BM_SimdMatvec2x3x48_ForcedScalar);
 
 void BM_JoinPrecoder(benchmark::State& state) {
   // One subcarrier's nulling+alignment solve for a 3-antenna joiner

@@ -9,9 +9,15 @@ JSON embeds the trace CRC — so one byte-compare pins both the simulated
 metrics and the event stream. On success the first run's outputs are kept
 at --out/--trace for downstream consumers (the perf gate fixture).
 
+With --force-scalar-compare, one extra run is made at the first thread
+count with --force-scalar appended and byte-compared to the reference run.
+That is the SIMD engine's byte-identity contract end to end: auto dispatch
+(AVX2/NEON/portable, whatever the host picks) and the pinned scalar
+kernels must produce the identical results JSON and trace CRC.
+
 Usage:
   check_bench_determinism.py BENCH_BIN CONFIG --out FILE.json
-      [--trace FILE.nptr] [--threads 1 2 4]
+      [--trace FILE.nptr] [--threads 1 2 4] [--force-scalar-compare]
 
 Exit 0 when all runs match; 1 on any divergence or bench failure.
 """
@@ -22,6 +28,25 @@ import subprocess
 import sys
 
 
+def run_bench(cmd):
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"check_bench_determinism: {' '.join(cmd)} exited "
+              f"{proc.returncode}", file=sys.stderr)
+        return False
+    return True
+
+
+def read_outputs(out, trace):
+    with open(out, "rb") as f:
+        jbytes = f.read()
+    tbytes = b""
+    if trace:
+        with open(trace, "rb") as f:
+            tbytes = f.read()
+    return jbytes, tbytes
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("bench_bin")
@@ -29,9 +54,12 @@ def main():
     ap.add_argument("--out", required=True)
     ap.add_argument("--trace", default="")
     ap.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4])
+    ap.add_argument("--force-scalar-compare", action="store_true",
+                    help="also run once with --force-scalar and require "
+                         "byte-identical outputs (SIMD dispatch equivalence)")
     args = ap.parse_args()
 
-    runs = []  # (threads, json_bytes, trace_bytes)
+    runs = []  # (label, json_bytes, trace_bytes)
     for n in args.threads:
         out = f"{args.out}.t{n}"
         trace = f"{args.trace}.t{n}" if args.trace else ""
@@ -39,43 +67,53 @@ def main():
                str(n)]
         if trace:
             cmd += ["--trace", trace]
-        proc = subprocess.run(cmd)
-        if proc.returncode != 0:
-            print(f"check_bench_determinism: {' '.join(cmd)} exited "
-                  f"{proc.returncode}", file=sys.stderr)
+        if not run_bench(cmd):
             return 1
-        with open(out, "rb") as f:
-            jbytes = f.read()
-        tbytes = b""
+        jbytes, tbytes = read_outputs(out, trace)
+        runs.append((f"--threads {n}", jbytes, tbytes))
+
+    scalar_suffix = ""
+    if args.force_scalar_compare:
+        scalar_suffix = ".scalar"
+        out = f"{args.out}{scalar_suffix}"
+        trace = f"{args.trace}{scalar_suffix}" if args.trace else ""
+        cmd = [args.bench_bin, args.config, "--out", out, "--threads",
+               str(args.threads[0]), "--force-scalar"]
         if trace:
-            with open(trace, "rb") as f:
-                tbytes = f.read()
-        runs.append((n, jbytes, tbytes))
+            cmd += ["--trace", trace]
+        if not run_bench(cmd):
+            return 1
+        jbytes, tbytes = read_outputs(out, trace)
+        runs.append(("--force-scalar", jbytes, tbytes))
 
     ok = True
-    ref_n, ref_j, ref_t = runs[0]
-    for n, jbytes, tbytes in runs[1:]:
+    ref_label, ref_j, ref_t = runs[0]
+    for label, jbytes, tbytes in runs[1:]:
         if jbytes != ref_j:
             print(f"check_bench_determinism: results JSON differs between "
-                  f"--threads {ref_n} and --threads {n}", file=sys.stderr)
+                  f"{ref_label} and {label}", file=sys.stderr)
             ok = False
         if tbytes != ref_t:
             print(f"check_bench_determinism: trace file differs between "
-                  f"--threads {ref_n} and --threads {n}", file=sys.stderr)
+                  f"{ref_label} and {label}", file=sys.stderr)
             ok = False
     if not ok:
         return 1
 
-    os.replace(f"{args.out}.t{ref_n}", args.out)
+    os.replace(f"{args.out}.t{args.threads[0]}", args.out)
     if args.trace:
-        os.replace(f"{args.trace}.t{ref_n}", args.trace)
-    for n, _, _ in runs[1:]:
+        os.replace(f"{args.trace}.t{args.threads[0]}", args.trace)
+    for n in args.threads[1:]:
         os.remove(f"{args.out}.t{n}")
         if args.trace:
             os.remove(f"{args.trace}.t{n}")
+    if scalar_suffix:
+        os.remove(f"{args.out}{scalar_suffix}")
+        if args.trace:
+            os.remove(f"{args.trace}{scalar_suffix}")
+    variants = "/".join(label for label, _, _ in runs)
     print(f"check_bench_determinism: {os.path.basename(args.config)} "
-          f"byte-identical across --threads "
-          f"{'/'.join(str(n) for n in args.threads)} "
+          f"byte-identical across {variants} "
           f"({len(ref_j)} JSON bytes, {len(ref_t)} trace bytes)")
     return 0
 

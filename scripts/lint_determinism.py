@@ -31,8 +31,9 @@ import sys
 
 # --------------------------------------------------------------------------
 # Rule table. `scope` is a path-prefix filter (POSIX-style, relative to the
-# repo root); `allow` lists files exempt by design. Keep this table in sync
-# with the "Static analysis & enforced invariants" section of src/README.md.
+# repo root); `allow` lists files exempt by design (an entry ending in "/"
+# exempts the whole directory). Keep this table in sync with the "Static
+# analysis & enforced invariants" section of src/README.md.
 
 RULES = {
     "wall-clock": {
@@ -92,6 +93,15 @@ RULES = {
                 "fopen cannot introduce an unversioned side channel",
         "scope": ["src/"],
         "allow": ["src/util/checkpoint.cc", "src/util/trace.cc"],
+    },
+    "no-raw-intrinsics": {
+        "desc": "no vendor SIMD intrinsics (immintrin/arm_neon headers, "
+                "_mm*/v*q_f64 calls, __m256d/float64x2_t types) outside "
+                "src/linalg/simd/; lane-parallel code must go through the "
+                "linalg::simd dispatch layer so the byte-identity contract "
+                "and the scalar fallback stay enforceable in one place",
+        "scope": ["src/", "bench/", "tests/", "examples/"],
+        "allow": ["src/linalg/simd/"],
     },
     "suppression-justified": {
         "desc": "every lint:allow and every clang-tidy NOLINT carries a "
@@ -399,6 +409,20 @@ FILE_IO_PATTERNS = [
     (re.compile(r"std::filesystem::"), "std::filesystem call"),
 ]
 
+RAW_INTRINSICS_PATTERNS = [
+    (re.compile(r'#\s*include\s*[<"][^<">]*'
+                r"(?:immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin"
+                r"|tmmintrin|smmintrin|nmmintrin|wmmintrin|avxintrin"
+                r"|avx2intrin|arm_neon|arm_sve)\.h"),
+     "vendor intrinsic header include"),
+    (re.compile(r"\b_mm\d*_[a-z0-9_]+\s*\("), "x86 SIMD intrinsic call"),
+    (re.compile(r"\bv[a-z][a-z0-9_]*q_[fsu](?:8|16|32|64)\s*\("),
+     "NEON intrinsic call"),
+    (re.compile(r"\b(?:__m(?:128|256|512)[di]?"
+                r"|(?:float|int|uint)(?:8|16|32|64)x\d+(?:x\d+)?_t)\b"),
+     "SIMD vector type"),
+]
+
 ALLOW_RE = re.compile(r"lint:allow\s+([A-Za-z0-9-]+)\s*(:?)\s*(.*)")
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?\s*(?:\([^)]*\))?(.*)")
 
@@ -435,8 +459,9 @@ def run_rules(rel_path, text):
 
     def in_scope(rule):
         spec = RULES[rule]
-        if rel_path in spec["allow"]:
-            return False
+        for a in spec["allow"]:
+            if rel_path == a or (a.endswith("/") and rel_path.startswith(a)):
+                return False
         return any(rel_path.startswith(p) for p in spec["scope"])
 
     if in_scope("wall-clock"):
@@ -468,6 +493,11 @@ def run_rules(rel_path, text):
                 masked, FILE_IO_PATTERNS,
                 "only the checkpoint/trace writers touch disk"):
             findings.append((ln, "no-file-io-library", msg))
+    if in_scope("no-raw-intrinsics"):
+        for ln, msg in rule_pattern_scan(masked, RAW_INTRINSICS_PATTERNS,
+                                         "use the linalg::simd dispatch "
+                                         "layer"):
+            findings.append((ln, "no-raw-intrinsics", msg))
     if in_scope("suppression-justified"):
         for ln, msg in rule_suppression_justified(masked):
             findings.append((ln, "suppression-justified", msg))

@@ -1,0 +1,168 @@
+#include "linalg/simd/dispatch.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "linalg/simd/kernels.h"
+
+namespace nplus::linalg::simd {
+namespace {
+
+// Sentinel meaning "no test override active".
+constexpr int kNoOverride = -1;
+
+std::atomic<int> g_override{kNoOverride};
+std::atomic<bool> g_force_scalar{false};
+
+// NPLUS_FORCE_SCALAR is read exactly once, before the first kernel call,
+// so a run's dispatch decision is fixed for its lifetime (determinism
+// audits re-run binaries and compare bytes; a mid-run env change must not
+// be observable).
+bool env_force_scalar() {
+  static const bool forced = [] {
+    const char* v = std::getenv("NPLUS_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return forced;
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+Target best_auto_target() {
+  if (detail::avx2_compiled() && cpu_has_avx2()) return Target::kAvx2;
+  if (detail::neon_compiled()) return Target::kNeon;
+  return Target::kPortable;
+}
+
+}  // namespace
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::kScalar:
+      return "scalar";
+    case Target::kPortable:
+      return "portable";
+    case Target::kAvx2:
+      return "avx2";
+    case Target::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool target_available(Target t) {
+  switch (t) {
+    case Target::kScalar:
+    case Target::kPortable:
+      return true;
+    case Target::kAvx2:
+      return detail::avx2_compiled() && cpu_has_avx2();
+    case Target::kNeon:
+      return detail::neon_compiled();
+  }
+  return false;
+}
+
+std::vector<Target> compiled_targets() {
+  std::vector<Target> out;
+  if (detail::avx2_compiled()) out.push_back(Target::kAvx2);
+  if (detail::neon_compiled()) out.push_back(Target::kNeon);
+  out.push_back(Target::kPortable);
+  out.push_back(Target::kScalar);
+  return out;
+}
+
+void set_force_scalar(bool on) { g_force_scalar.store(on); }
+
+bool force_scalar() { return g_force_scalar.load() || env_force_scalar(); }
+
+void set_target_override(Target t) {
+  if (!target_available(t)) return;
+  g_override.store(static_cast<int>(t));
+}
+
+void clear_target_override() { g_override.store(kNoOverride); }
+
+Target active_target() {
+  const int ov = g_override.load();
+  if (ov != kNoOverride) return static_cast<Target>(ov);
+  if (force_scalar()) return Target::kScalar;
+  static const Target best = best_auto_target();
+  return best;
+}
+
+// One switch per public kernel keeps the per-call dispatch overhead to a
+// single relaxed atomic load plus a predictable branch.
+#define NPLUS_SIMD_DISPATCH(call_scalar, call_portable, call_avx2,           \
+                            call_neon)                                       \
+  switch (active_target()) {                                                 \
+    case Target::kScalar:                                                    \
+      call_scalar;                                                           \
+      break;                                                                 \
+    case Target::kPortable:                                                  \
+      call_portable;                                                         \
+      break;                                                                 \
+    case Target::kAvx2:                                                      \
+      call_avx2;                                                             \
+      break;                                                                 \
+    case Target::kNeon:                                                      \
+      call_neon;                                                             \
+      break;                                                                 \
+  }
+
+void matvec(const CBatch& a, const CBatch& x, CBatch& out) {
+  assert(x.rows() == a.cols() && x.cols() == 1);
+  assert(x.lanes() == a.lanes());
+  out.resize(a.rows(), 1, a.lanes());
+  NPLUS_SIMD_DISPATCH(detail::matvec_scalar(a, x, out),
+                      detail::matvec_portable(a, x, out),
+                      detail::matvec_avx2(a, x, out),
+                      detail::matvec_neon(a, x, out))
+}
+
+void matmul(const CBatch& a, const CBatch& b, CBatch& out) {
+  assert(b.rows() == a.cols());
+  assert(b.lanes() == a.lanes());
+  out.resize(a.rows(), b.cols(), a.lanes());
+  NPLUS_SIMD_DISPATCH(detail::matmul_scalar(a, b, out),
+                      detail::matmul_portable(a, b, out),
+                      detail::matmul_avx2(a, b, out),
+                      detail::matmul_neon(a, b, out))
+}
+
+void scale(CBatch& m, cdouble s) {
+  NPLUS_SIMD_DISPATCH(detail::scale_scalar(m, s),
+                      detail::scale_portable(m, s),
+                      detail::scale_avx2(m, s), detail::scale_neon(m, s))
+}
+
+void halfsum(const CBatch& a, const CBatch& b, CBatch& out) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  assert(a.lanes() == b.lanes());
+  out.resize(a.rows(), a.cols(), a.lanes());
+  NPLUS_SIMD_DISPATCH(detail::halfsum_scalar(a, b, out),
+                      detail::halfsum_portable(a, b, out),
+                      detail::halfsum_avx2(a, b, out),
+                      detail::halfsum_neon(a, b, out))
+}
+
+void point_distances(const double* yr, const double* yi, std::size_t lanes,
+                     const cdouble* pts, std::size_t n_pts, double* d) {
+  NPLUS_SIMD_DISPATCH(
+      detail::point_distances_scalar(yr, yi, lanes, pts, n_pts, d),
+      detail::point_distances_portable(yr, yi, lanes, pts, n_pts, d),
+      detail::point_distances_avx2(yr, yi, lanes, pts, n_pts, d),
+      detail::point_distances_neon(yr, yi, lanes, pts, n_pts, d))
+}
+
+#undef NPLUS_SIMD_DISPATCH
+
+}  // namespace nplus::linalg::simd

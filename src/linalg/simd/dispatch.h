@@ -1,0 +1,80 @@
+// Runtime dispatch for the SoA batch kernels, plus the forced-scalar
+// override that byte-pins the scalar path.
+//
+// Targets, best first: AVX2 (4 lanes/op), NEON (2 lanes/op), a portable
+// `#pragma omp simd` fallback, and the plain scalar reference. Every
+// target executes the identical per-lane op sequence, so the choice never
+// changes a single output byte — it only changes wall-clock. That is what
+// lets the NPLUS_FORCE_SCALAR=1 environment override (or a driver's
+// --force-scalar flag) serve as an end-to-end equivalence check: auto vs
+// forced-scalar runs of nplus-bench must produce byte-identical JSON and
+// trace CRCs, and CI diffs them exactly like the 1/2/4-thread runs.
+//
+// Dispatch is resolved per kernel call from three inputs, in priority
+// order: a test-only target override, the force-scalar flag (CLI setter OR
+// the NPLUS_FORCE_SCALAR env var read once at first use), and CPU feature
+// detection over the targets compiled into this binary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/mat.h"
+#include "linalg/simd/batch.h"
+
+namespace nplus::linalg::simd {
+
+enum class Target { kScalar, kPortable, kAvx2, kNeon };
+
+const char* target_name(Target t);
+
+// The target the next kernel call will use.
+Target active_target();
+
+// Forces the scalar reference kernels (the CLI hook behind --force-scalar;
+// the NPLUS_FORCE_SCALAR environment variable has the same effect).
+void set_force_scalar(bool on);
+bool force_scalar();
+
+// Targets compiled into this binary (kScalar and kPortable always are;
+// kAvx2/kNeon depend on the build architecture). Order: best first.
+std::vector<Target> compiled_targets();
+
+// Compiled AND executable on this CPU.
+bool target_available(Target t);
+
+// Test-only: pin dispatch to one target so the differential harness can
+// byte-compare every compiled target against the scalar reference.
+// Ignored if the target is unavailable. clear restores auto dispatch.
+void set_target_override(Target t);
+void clear_target_override();
+
+// --- Batched kernels -----------------------------------------------------
+// Each runs the per-lane op sequence of its scalar reference (cited below)
+// on every lane. Shapes must match across operands; `out` is reshaped
+// (capacity-reusing) and must not alias an input.
+
+// Per lane: out = a * x, exactly linalg::mul_into(CMat, CVec, CVec&).
+// a: m x n x L, x: n x 1 x L, out: m x 1 x L.
+void matvec(const CBatch& a, const CBatch& x, CBatch& out);
+
+// Per lane: out = a * b, exactly linalg::mul_into(CMat, CMat, CMat&)
+// (ikj order, k = 0 pass assigns). a: m x n x L, b: n x p x L.
+void matmul(const CBatch& a, const CBatch& b, CBatch& out);
+
+// Per lane, elementwise: v = v * s with the naive complex product —
+// exactly CMat::operator*=(cdouble) / the decode path's `s_hat * phase_fix`
+// (both reduce to the same two products per component; IEEE add/mul are
+// commutative, so one formula reproduces either operand order).
+void scale(CBatch& m, cdouble s);
+
+// Elementwise out = 0.5 * (a + b) — the LTF two-symbol average.
+void halfsum(const CBatch& a, const CBatch& b, CBatch& out);
+
+// Squared distances from each lane's point (yr[l], yi[l]) to every
+// constellation point: d[w * lanes + l] = norm(y_l - pts[w]) with
+// std::norm's re*re + im*im. `d` must hold n_pts * lanes doubles.
+void point_distances(const double* yr, const double* yi, std::size_t lanes,
+                     const cdouble* pts, std::size_t n_pts, double* d);
+
+}  // namespace nplus::linalg::simd

@@ -1,0 +1,40 @@
+// Internal per-target kernel entry points behind linalg/simd/dispatch.h.
+// Not for use outside src/linalg/simd/: callers go through the dispatching
+// wrappers, which validate shapes and resize outputs once.
+//
+// Every target implements the same five kernels with the same per-lane op
+// sequence; kernels_scalar.cc is the reference, kernels_portable.cc is the
+// same generic code under `#pragma omp simd`, kernels_avx2.cc/_neon.cc are
+// hand-vectorized mirrors. The TUs are compiled with -ffp-contract=off so
+// no target fuses a multiply-add the others keep separate.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/mat.h"
+#include "linalg/simd/batch.h"
+
+namespace nplus::linalg::simd::detail {
+
+#define NPLUS_SIMD_DECLARE_TARGET(suffix)                                    \
+  void matvec_##suffix(const CBatch& a, const CBatch& x, CBatch& out);       \
+  void matmul_##suffix(const CBatch& a, const CBatch& b, CBatch& out);       \
+  void scale_##suffix(CBatch& m, cdouble s);                                 \
+  void halfsum_##suffix(const CBatch& a, const CBatch& b, CBatch& out);      \
+  void point_distances_##suffix(const double* yr, const double* yi,          \
+                                std::size_t lanes, const cdouble* pts,       \
+                                std::size_t n_pts, double* d)
+
+NPLUS_SIMD_DECLARE_TARGET(scalar);
+NPLUS_SIMD_DECLARE_TARGET(portable);
+NPLUS_SIMD_DECLARE_TARGET(avx2);
+NPLUS_SIMD_DECLARE_TARGET(neon);
+
+#undef NPLUS_SIMD_DECLARE_TARGET
+
+// Whether the vector TUs were built with their instruction set enabled
+// (defined in the respective TU; false bodies compile everywhere).
+bool avx2_compiled();
+bool neon_compiled();
+
+}  // namespace nplus::linalg::simd::detail

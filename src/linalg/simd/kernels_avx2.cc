@@ -1,0 +1,244 @@
+// AVX2 target: hand-vectorized mirrors of the generic kernels, 4 lanes per
+// 256-bit op. Each vmulpd/vaddpd/vsubpd is the per-lane IEEE-754 multiply/
+// add/subtract, and the instruction sequence below reproduces the generic
+// code's products and association exactly (no FMA: the TU is compiled with
+// -ffp-contract=off and -mavx2 does not enable FMA3 anyway), so every lane
+// is bit-identical to the scalar reference. Lane counts that are not a
+// multiple of 4 finish with a scalar tail running the same statements.
+//
+// This TU is compiled with -mavx2 on x86 only; callers must check
+// target_available(Target::kAvx2) (dispatch.cc does) before routing here.
+
+#include "linalg/simd/kernels.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace nplus::linalg::simd::detail {
+
+bool avx2_compiled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__)
+
+void matvec_avx2(const CBatch& a, const CBatch& x, CBatch& out) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t lanes = a.lanes();
+  const std::size_t vec = lanes - lanes % 4;
+  const double* are = a.re();
+  const double* aim = a.im();
+  const double* xre = x.re();
+  const double* xim = x.im();
+  for (std::size_t r = 0; r < m; ++r) {
+    double* sre = out.re() + r * lanes;
+    double* sim = out.im() + r * lanes;
+    for (std::size_t l = 0; l < vec; l += 4) {
+      __m256d accr = _mm256_setzero_pd();
+      __m256d acci = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t ab = (r * n + c) * lanes + l;
+        const std::size_t xb = c * lanes + l;
+        const __m256d ar = _mm256_loadu_pd(are + ab);
+        const __m256d ai = _mm256_loadu_pd(aim + ab);
+        const __m256d xr = _mm256_loadu_pd(xre + xb);
+        const __m256d xi = _mm256_loadu_pd(xim + xb);
+        accr = _mm256_add_pd(accr, _mm256_sub_pd(_mm256_mul_pd(ar, xr),
+                                                 _mm256_mul_pd(ai, xi)));
+        acci = _mm256_add_pd(acci, _mm256_add_pd(_mm256_mul_pd(ar, xi),
+                                                 _mm256_mul_pd(ai, xr)));
+      }
+      _mm256_storeu_pd(sre + l, accr);
+      _mm256_storeu_pd(sim + l, acci);
+    }
+    for (std::size_t l = vec; l < lanes; ++l) {
+      double sr = 0.0, si = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t ab = (r * n + c) * lanes + l;
+        const std::size_t xb = c * lanes + l;
+        sr += are[ab] * xre[xb] - aim[ab] * xim[xb];
+        si += are[ab] * xim[xb] + aim[ab] * xre[xb];
+      }
+      sre[l] = sr;
+      sim[l] = si;
+    }
+  }
+}
+
+void matmul_avx2(const CBatch& a, const CBatch& b, CBatch& out) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t p = b.cols();
+  const std::size_t lanes = a.lanes();
+  if (kk == 0) {
+    double* ore = out.re();
+    double* oim = out.im();
+    const std::size_t total = out.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      ore[i] = 0.0;
+      oim[i] = 0.0;
+    }
+    return;
+  }
+  const std::size_t vec = lanes - lanes % 4;
+  const double* are = a.re();
+  const double* aim = a.im();
+  const double* bre = b.re();
+  const double* bim = b.im();
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      for (std::size_t c = 0; c < p; ++c) {
+        const std::size_t ab = (r * kk + k) * lanes;
+        const std::size_t bb = (k * p + c) * lanes;
+        double* ore = out.re() + (r * p + c) * lanes;
+        double* oim = out.im() + (r * p + c) * lanes;
+        if (k == 0) {
+          for (std::size_t l = 0; l < vec; l += 4) {
+            const __m256d ar = _mm256_loadu_pd(are + ab + l);
+            const __m256d ai = _mm256_loadu_pd(aim + ab + l);
+            const __m256d br = _mm256_loadu_pd(bre + bb + l);
+            const __m256d bi = _mm256_loadu_pd(bim + bb + l);
+            _mm256_storeu_pd(ore + l, _mm256_sub_pd(_mm256_mul_pd(ar, br),
+                                                    _mm256_mul_pd(ai, bi)));
+            _mm256_storeu_pd(oim + l, _mm256_add_pd(_mm256_mul_pd(ar, bi),
+                                                    _mm256_mul_pd(ai, br)));
+          }
+          for (std::size_t l = vec; l < lanes; ++l) {
+            ore[l] = are[ab + l] * bre[bb + l] - aim[ab + l] * bim[bb + l];
+            oim[l] = are[ab + l] * bim[bb + l] + aim[ab + l] * bre[bb + l];
+          }
+        } else {
+          for (std::size_t l = 0; l < vec; l += 4) {
+            const __m256d ar = _mm256_loadu_pd(are + ab + l);
+            const __m256d ai = _mm256_loadu_pd(aim + ab + l);
+            const __m256d br = _mm256_loadu_pd(bre + bb + l);
+            const __m256d bi = _mm256_loadu_pd(bim + bb + l);
+            const __m256d pr = _mm256_loadu_pd(ore + l);
+            const __m256d pi = _mm256_loadu_pd(oim + l);
+            _mm256_storeu_pd(
+                ore + l,
+                _mm256_sub_pd(_mm256_add_pd(pr, _mm256_mul_pd(ar, br)),
+                              _mm256_mul_pd(ai, bi)));
+            _mm256_storeu_pd(
+                oim + l,
+                _mm256_add_pd(_mm256_add_pd(pi, _mm256_mul_pd(ar, bi)),
+                              _mm256_mul_pd(ai, br)));
+          }
+          for (std::size_t l = vec; l < lanes; ++l) {
+            ore[l] = ore[l] + are[ab + l] * bre[bb + l] -
+                     aim[ab + l] * bim[bb + l];
+            oim[l] = oim[l] + are[ab + l] * bim[bb + l] +
+                     aim[ab + l] * bre[bb + l];
+          }
+        }
+      }
+    }
+  }
+}
+
+void scale_avx2(CBatch& v, cdouble s) {
+  const double sr = s.real();
+  const double si = s.imag();
+  const __m256d vsr = _mm256_set1_pd(sr);
+  const __m256d vsi = _mm256_set1_pd(si);
+  double* re = v.re();
+  double* im = v.im();
+  const std::size_t total = v.size();
+  const std::size_t vec = total - total % 4;
+  for (std::size_t i = 0; i < vec; i += 4) {
+    const __m256d tr = _mm256_loadu_pd(re + i);
+    const __m256d ti = _mm256_loadu_pd(im + i);
+    _mm256_storeu_pd(re + i, _mm256_sub_pd(_mm256_mul_pd(tr, vsr),
+                                           _mm256_mul_pd(ti, vsi)));
+    _mm256_storeu_pd(im + i, _mm256_add_pd(_mm256_mul_pd(tr, vsi),
+                                           _mm256_mul_pd(ti, vsr)));
+  }
+  for (std::size_t i = vec; i < total; ++i) {
+    const double tr = re[i];
+    const double ti = im[i];
+    re[i] = tr * sr - ti * si;
+    im[i] = tr * si + ti * sr;
+  }
+}
+
+void halfsum_avx2(const CBatch& a, const CBatch& b, CBatch& out) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const double* are = a.re();
+  const double* aim = a.im();
+  const double* bre = b.re();
+  const double* bim = b.im();
+  double* ore = out.re();
+  double* oim = out.im();
+  const std::size_t total = out.size();
+  const std::size_t vec = total - total % 4;
+  for (std::size_t i = 0; i < vec; i += 4) {
+    _mm256_storeu_pd(
+        ore + i, _mm256_mul_pd(_mm256_add_pd(_mm256_loadu_pd(are + i),
+                                             _mm256_loadu_pd(bre + i)),
+                               half));
+    _mm256_storeu_pd(
+        oim + i, _mm256_mul_pd(_mm256_add_pd(_mm256_loadu_pd(aim + i),
+                                             _mm256_loadu_pd(bim + i)),
+                               half));
+  }
+  for (std::size_t i = vec; i < total; ++i) {
+    ore[i] = (are[i] + bre[i]) * 0.5;
+    oim[i] = (aim[i] + bim[i]) * 0.5;
+  }
+}
+
+void point_distances_avx2(const double* yr, const double* yi,
+                          std::size_t lanes, const cdouble* pts,
+                          std::size_t n_pts, double* d) {
+  const std::size_t vec = lanes - lanes % 4;
+  for (std::size_t w = 0; w < n_pts; ++w) {
+    const double pr = pts[w].real();
+    const double pi = pts[w].imag();
+    const __m256d vpr = _mm256_set1_pd(pr);
+    const __m256d vpi = _mm256_set1_pd(pi);
+    double* dw = d + w * lanes;
+    for (std::size_t l = 0; l < vec; l += 4) {
+      const __m256d dr = _mm256_sub_pd(_mm256_loadu_pd(yr + l), vpr);
+      const __m256d di = _mm256_sub_pd(_mm256_loadu_pd(yi + l), vpi);
+      _mm256_storeu_pd(dw + l, _mm256_add_pd(_mm256_mul_pd(dr, dr),
+                                             _mm256_mul_pd(di, di)));
+    }
+    for (std::size_t l = vec; l < lanes; ++l) {
+      const double dr = yr[l] - pr;
+      const double di = yi[l] - pi;
+      dw[l] = dr * dr + di * di;
+    }
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+// Stubs keep the TU linkable on builds without AVX2 (non-x86 hosts, or a
+// toolchain that rejects -mavx2). Dispatch never routes here: it checks
+// avx2_compiled() && __builtin_cpu_supports("avx2") first.
+
+void matvec_avx2(const CBatch& a, const CBatch& x, CBatch& out) {
+  matvec_scalar(a, x, out);
+}
+void matmul_avx2(const CBatch& a, const CBatch& b, CBatch& out) {
+  matmul_scalar(a, b, out);
+}
+void scale_avx2(CBatch& v, cdouble s) { scale_scalar(v, s); }
+void halfsum_avx2(const CBatch& a, const CBatch& b, CBatch& out) {
+  halfsum_scalar(a, b, out);
+}
+void point_distances_avx2(const double* yr, const double* yi,
+                          std::size_t lanes, const cdouble* pts,
+                          std::size_t n_pts, double* d) {
+  point_distances_scalar(yr, yi, lanes, pts, n_pts, d);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace nplus::linalg::simd::detail

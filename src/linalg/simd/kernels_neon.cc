@@ -1,0 +1,233 @@
+// NEON target: 2 lanes per 128-bit op via float64x2_t. vmulq_f64 /
+// vaddq_f64 / vsubq_f64 are the per-lane IEEE-754 multiply/add/subtract,
+// and the sequences below reproduce the generic code's products and
+// association exactly (no vfmaq_f64 anywhere; the TU is also compiled with
+// -ffp-contract=off), so every lane is bit-identical to the scalar
+// reference. Odd lane counts finish with a scalar tail running the same
+// statements.
+
+#include "linalg/simd/kernels.h"
+
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace nplus::linalg::simd::detail {
+
+bool neon_compiled() {
+#if defined(__ARM_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__ARM_NEON)
+
+void matvec_neon(const CBatch& a, const CBatch& x, CBatch& out) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t lanes = a.lanes();
+  const std::size_t vec = lanes - lanes % 2;
+  const double* are = a.re();
+  const double* aim = a.im();
+  const double* xre = x.re();
+  const double* xim = x.im();
+  for (std::size_t r = 0; r < m; ++r) {
+    double* sre = out.re() + r * lanes;
+    double* sim = out.im() + r * lanes;
+    for (std::size_t l = 0; l < vec; l += 2) {
+      float64x2_t accr = vdupq_n_f64(0.0);
+      float64x2_t acci = vdupq_n_f64(0.0);
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t ab = (r * n + c) * lanes + l;
+        const std::size_t xb = c * lanes + l;
+        const float64x2_t ar = vld1q_f64(are + ab);
+        const float64x2_t ai = vld1q_f64(aim + ab);
+        const float64x2_t xr = vld1q_f64(xre + xb);
+        const float64x2_t xi = vld1q_f64(xim + xb);
+        accr = vaddq_f64(accr, vsubq_f64(vmulq_f64(ar, xr),
+                                         vmulq_f64(ai, xi)));
+        acci = vaddq_f64(acci, vaddq_f64(vmulq_f64(ar, xi),
+                                         vmulq_f64(ai, xr)));
+      }
+      vst1q_f64(sre + l, accr);
+      vst1q_f64(sim + l, acci);
+    }
+    for (std::size_t l = vec; l < lanes; ++l) {
+      double sr = 0.0, si = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t ab = (r * n + c) * lanes + l;
+        const std::size_t xb = c * lanes + l;
+        sr += are[ab] * xre[xb] - aim[ab] * xim[xb];
+        si += are[ab] * xim[xb] + aim[ab] * xre[xb];
+      }
+      sre[l] = sr;
+      sim[l] = si;
+    }
+  }
+}
+
+void matmul_neon(const CBatch& a, const CBatch& b, CBatch& out) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t p = b.cols();
+  const std::size_t lanes = a.lanes();
+  if (kk == 0) {
+    double* ore = out.re();
+    double* oim = out.im();
+    const std::size_t total = out.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      ore[i] = 0.0;
+      oim[i] = 0.0;
+    }
+    return;
+  }
+  const std::size_t vec = lanes - lanes % 2;
+  const double* are = a.re();
+  const double* aim = a.im();
+  const double* bre = b.re();
+  const double* bim = b.im();
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      for (std::size_t c = 0; c < p; ++c) {
+        const std::size_t ab = (r * kk + k) * lanes;
+        const std::size_t bb = (k * p + c) * lanes;
+        double* ore = out.re() + (r * p + c) * lanes;
+        double* oim = out.im() + (r * p + c) * lanes;
+        if (k == 0) {
+          for (std::size_t l = 0; l < vec; l += 2) {
+            const float64x2_t ar = vld1q_f64(are + ab + l);
+            const float64x2_t ai = vld1q_f64(aim + ab + l);
+            const float64x2_t br = vld1q_f64(bre + bb + l);
+            const float64x2_t bi = vld1q_f64(bim + bb + l);
+            vst1q_f64(ore + l, vsubq_f64(vmulq_f64(ar, br),
+                                         vmulq_f64(ai, bi)));
+            vst1q_f64(oim + l, vaddq_f64(vmulq_f64(ar, bi),
+                                         vmulq_f64(ai, br)));
+          }
+          for (std::size_t l = vec; l < lanes; ++l) {
+            ore[l] = are[ab + l] * bre[bb + l] - aim[ab + l] * bim[bb + l];
+            oim[l] = are[ab + l] * bim[bb + l] + aim[ab + l] * bre[bb + l];
+          }
+        } else {
+          for (std::size_t l = 0; l < vec; l += 2) {
+            const float64x2_t ar = vld1q_f64(are + ab + l);
+            const float64x2_t ai = vld1q_f64(aim + ab + l);
+            const float64x2_t br = vld1q_f64(bre + bb + l);
+            const float64x2_t bi = vld1q_f64(bim + bb + l);
+            const float64x2_t pr = vld1q_f64(ore + l);
+            const float64x2_t pi = vld1q_f64(oim + l);
+            vst1q_f64(ore + l,
+                      vsubq_f64(vaddq_f64(pr, vmulq_f64(ar, br)),
+                                vmulq_f64(ai, bi)));
+            vst1q_f64(oim + l,
+                      vaddq_f64(vaddq_f64(pi, vmulq_f64(ar, bi)),
+                                vmulq_f64(ai, br)));
+          }
+          for (std::size_t l = vec; l < lanes; ++l) {
+            ore[l] = ore[l] + are[ab + l] * bre[bb + l] -
+                     aim[ab + l] * bim[bb + l];
+            oim[l] = oim[l] + are[ab + l] * bim[bb + l] +
+                     aim[ab + l] * bre[bb + l];
+          }
+        }
+      }
+    }
+  }
+}
+
+void scale_neon(CBatch& v, cdouble s) {
+  const double sr = s.real();
+  const double si = s.imag();
+  const float64x2_t vsr = vdupq_n_f64(sr);
+  const float64x2_t vsi = vdupq_n_f64(si);
+  double* re = v.re();
+  double* im = v.im();
+  const std::size_t total = v.size();
+  const std::size_t vec = total - total % 2;
+  for (std::size_t i = 0; i < vec; i += 2) {
+    const float64x2_t tr = vld1q_f64(re + i);
+    const float64x2_t ti = vld1q_f64(im + i);
+    vst1q_f64(re + i, vsubq_f64(vmulq_f64(tr, vsr), vmulq_f64(ti, vsi)));
+    vst1q_f64(im + i, vaddq_f64(vmulq_f64(tr, vsi), vmulq_f64(ti, vsr)));
+  }
+  for (std::size_t i = vec; i < total; ++i) {
+    const double tr = re[i];
+    const double ti = im[i];
+    re[i] = tr * sr - ti * si;
+    im[i] = tr * si + ti * sr;
+  }
+}
+
+void halfsum_neon(const CBatch& a, const CBatch& b, CBatch& out) {
+  const float64x2_t half = vdupq_n_f64(0.5);
+  const double* are = a.re();
+  const double* aim = a.im();
+  const double* bre = b.re();
+  const double* bim = b.im();
+  double* ore = out.re();
+  double* oim = out.im();
+  const std::size_t total = out.size();
+  const std::size_t vec = total - total % 2;
+  for (std::size_t i = 0; i < vec; i += 2) {
+    vst1q_f64(ore + i, vmulq_f64(vaddq_f64(vld1q_f64(are + i),
+                                           vld1q_f64(bre + i)),
+                                 half));
+    vst1q_f64(oim + i, vmulq_f64(vaddq_f64(vld1q_f64(aim + i),
+                                           vld1q_f64(bim + i)),
+                                 half));
+  }
+  for (std::size_t i = vec; i < total; ++i) {
+    ore[i] = (are[i] + bre[i]) * 0.5;
+    oim[i] = (aim[i] + bim[i]) * 0.5;
+  }
+}
+
+void point_distances_neon(const double* yr, const double* yi,
+                          std::size_t lanes, const cdouble* pts,
+                          std::size_t n_pts, double* d) {
+  const std::size_t vec = lanes - lanes % 2;
+  for (std::size_t w = 0; w < n_pts; ++w) {
+    const double pr = pts[w].real();
+    const double pi = pts[w].imag();
+    const float64x2_t vpr = vdupq_n_f64(pr);
+    const float64x2_t vpi = vdupq_n_f64(pi);
+    double* dw = d + w * lanes;
+    for (std::size_t l = 0; l < vec; l += 2) {
+      const float64x2_t dr = vsubq_f64(vld1q_f64(yr + l), vpr);
+      const float64x2_t di = vsubq_f64(vld1q_f64(yi + l), vpi);
+      vst1q_f64(dw + l, vaddq_f64(vmulq_f64(dr, dr), vmulq_f64(di, di)));
+    }
+    for (std::size_t l = vec; l < lanes; ++l) {
+      const double dr = yr[l] - pr;
+      const double di = yi[l] - pi;
+      dw[l] = dr * dr + di * di;
+    }
+  }
+}
+
+#else  // !defined(__ARM_NEON)
+
+// Stubs keep the TU linkable on non-ARM builds; dispatch checks
+// neon_compiled() before routing here.
+
+void matvec_neon(const CBatch& a, const CBatch& x, CBatch& out) {
+  matvec_scalar(a, x, out);
+}
+void matmul_neon(const CBatch& a, const CBatch& b, CBatch& out) {
+  matmul_scalar(a, b, out);
+}
+void scale_neon(CBatch& v, cdouble s) { scale_scalar(v, s); }
+void halfsum_neon(const CBatch& a, const CBatch& b, CBatch& out) {
+  halfsum_scalar(a, b, out);
+}
+void point_distances_neon(const double* yr, const double* yi,
+                          std::size_t lanes, const cdouble* pts,
+                          std::size_t n_pts, double* d) {
+  point_distances_scalar(yr, yi, lanes, pts, n_pts, d);
+}
+
+#endif  // defined(__ARM_NEON)
+
+}  // namespace nplus::linalg::simd::detail

@@ -1,0 +1,13 @@
+// Portable vectorized target: the generic lane loops under
+// `#pragma omp simd` (compiled with -fopenmp-simd — a pure compiler
+// directive, no OpenMP runtime dependency). The pragma only licenses
+// lane-parallel execution of already-independent lanes; combined with
+// -ffp-contract=off it cannot change any per-lane op sequence, so this
+// target is byte-identical to the scalar reference by construction.
+
+#include "linalg/simd/kernels.h"
+
+#define NPLUS_SIMD_FN(name) name##_portable
+#define NPLUS_SIMD_LANE_LOOP _Pragma("omp simd")
+
+#include "linalg/simd/kernels_generic.inc"

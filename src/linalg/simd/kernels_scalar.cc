@@ -1,0 +1,11 @@
+// Scalar reference target: the generic lane loops with no vector
+// annotation. This is the TU the NPLUS_FORCE_SCALAR override pins, and the
+// baseline every other target is byte-compared against. Compiled with
+// -ffp-contract=off (see CMakeLists.txt) like all kernel TUs.
+
+#include "linalg/simd/kernels.h"
+
+#define NPLUS_SIMD_FN(name) name##_scalar
+#define NPLUS_SIMD_LANE_LOOP
+
+#include "linalg/simd/kernels_generic.inc"

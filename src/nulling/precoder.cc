@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "linalg/decomp.h"
+#include "linalg/simd/batch.h"
+#include "linalg/simd/dispatch.h"
 #include "linalg/subspace.h"
 
 namespace nplus::nulling {
@@ -69,12 +71,13 @@ bool normalize_columns(CMat& v) {
   return true;
 }
 
-}  // namespace
-
-std::optional<PrecoderResult> compute_join_precoder(
-    std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
-    std::size_t n_streams) {
-  const CMat constraints = stack_constraints(n_antennas, ongoing);
+// Shared tail of compute_join_precoder / compute_join_precoders_batch:
+// null-space extraction, degree-of-freedom checks, and normalization from
+// an already-stacked constraint matrix. The pivoted QR inside null_space is
+// data-dependent control flow, so this part is scalar in both entry points.
+std::optional<PrecoderResult> finish_join_precoder(const CMat& constraints,
+                                                   std::size_t n_antennas,
+                                                   std::size_t n_streams) {
   assert(constraints.rows() <= n_antennas);
 
   // Null-space basis: every column satisfies all nulling/alignment rows.
@@ -92,6 +95,91 @@ std::optional<PrecoderResult> compute_join_precoder(
   if (result.v.cols() < n_streams) return std::nullopt;
   if (!normalize_columns(result.v)) return std::nullopt;
   return result;
+}
+
+// Whether every lane presents the same receiver count and the same
+// per-receiver constraint shapes as lane 0 (the batched matmul needs one
+// shape per receiver slot across all lanes).
+bool uniform_lane_shapes(
+    const std::vector<std::vector<OngoingReceiver>>& lanes) {
+  const auto& first = lanes.front();
+  for (const auto& lane : lanes) {
+    if (lane.size() != first.size()) return false;
+    for (std::size_t j = 0; j < lane.size(); ++j) {
+      if (lane[j].wanted_space.rows() != first[j].wanted_space.rows() ||
+          lane[j].wanted_space.cols() != first[j].wanted_space.cols() ||
+          lane[j].channel.rows() != first[j].channel.rows() ||
+          lane[j].channel.cols() != first[j].channel.cols()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<PrecoderResult> compute_join_precoder(
+    std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
+    std::size_t n_streams) {
+  return finish_join_precoder(stack_constraints(n_antennas, ongoing),
+                              n_antennas, n_streams);
+}
+
+std::vector<std::optional<PrecoderResult>> compute_join_precoders_batch(
+    std::size_t n_antennas,
+    const std::vector<std::vector<OngoingReceiver>>& ongoing_per_lane,
+    std::size_t n_streams) {
+  const std::size_t n_lanes = ongoing_per_lane.size();
+  std::vector<std::optional<PrecoderResult>> out(n_lanes);
+  if (n_lanes == 0) return out;
+
+  if (!uniform_lane_shapes(ongoing_per_lane)) {
+    // Mixed constraint shapes across subcarriers (e.g. mid-sweep topology
+    // change): no common batch shape exists, fall back lane by lane.
+    for (std::size_t s = 0; s < n_lanes; ++s) {
+      out[s] = compute_join_precoder(n_antennas, ongoing_per_lane[s],
+                                     n_streams);
+    }
+    return out;
+  }
+
+  // One batched U^perp_j H_j product per receiver slot (the whole scalar
+  // stack_constraints matmul work), then the scalar finish per lane.
+  const std::size_t n_rx = ongoing_per_lane.front().size();
+  std::size_t total_rows = 0;
+  for (const auto& rx : ongoing_per_lane.front()) {
+    total_rows += rx.constraint_rows();
+  }
+
+  std::vector<CMat> stacked(n_lanes, CMat(total_rows, n_antennas));
+  linalg::simd::CBatch wanted, channel, rows;
+  std::size_t at = 0;
+  for (std::size_t j = 0; j < n_rx; ++j) {
+    const auto& rx0 = ongoing_per_lane.front()[j];
+    assert(rx0.channel.cols() == n_antennas);
+    wanted.resize(rx0.wanted_space.rows(), rx0.wanted_space.cols(), n_lanes);
+    channel.resize(rx0.channel.rows(), rx0.channel.cols(), n_lanes);
+    for (std::size_t s = 0; s < n_lanes; ++s) {
+      wanted.set_lane(s, ongoing_per_lane[s][j].wanted_space);
+      channel.set_lane(s, ongoing_per_lane[s][j].channel);
+    }
+    linalg::simd::matmul(wanted, channel, rows);  // n_j x M x L
+    for (std::size_t s = 0; s < n_lanes; ++s) {
+      for (std::size_t r = 0; r < rows.rows(); ++r) {
+        for (std::size_t c = 0; c < n_antennas; ++c) {
+          stacked[s](at + r, c) = rows.get(r, c, s);
+        }
+      }
+    }
+    at += rows.rows();
+  }
+  assert(at == total_rows);
+
+  for (std::size_t s = 0; s < n_lanes; ++s) {
+    out[s] = finish_join_precoder(stacked[s], n_antennas, n_streams);
+  }
+  return out;
 }
 
 std::optional<PrecoderResult> compute_multi_rx_precoder(

@@ -80,6 +80,19 @@ std::optional<PrecoderResult> compute_join_precoder(
     std::size_t n_antennas, const std::vector<OngoingReceiver>& ongoing,
     std::size_t n_streams);
 
+// Lane-parallel variant over OFDM subcarriers: element s of the result is
+// exactly compute_join_precoder(n_antennas, ongoing_per_lane[s], n_streams)
+// byte for byte. When every lane presents the same receiver count and
+// per-receiver shapes (the common case — one network topology, many
+// subcarriers), the U^perp_j H_j constraint products run through the
+// batched SIMD matmul; the pivoted null-space/normalize finish is
+// data-dependent control flow and stays per-lane scalar. Non-uniform lane
+// shapes fall back to the scalar routine per lane.
+std::vector<std::optional<PrecoderResult>> compute_join_precoders_batch(
+    std::size_t n_antennas,
+    const std::vector<std::vector<OngoingReceiver>>& ongoing_per_lane,
+    std::size_t n_streams);
+
 // General case of Claim 3.5 / Eq. 7 with multiple intended receivers; the
 // system matrix must come out square (sum of all constraint rows == M).
 std::optional<PrecoderResult> compute_multi_rx_precoder(

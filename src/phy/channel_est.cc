@@ -9,6 +9,8 @@
 
 #include "dsp/fft.h"
 #include "linalg/decomp.h"
+#include "linalg/simd/batch.h"
+#include "linalg/simd/dispatch.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 
@@ -52,7 +54,18 @@ void estimate_from_ltf_into(const Samples& rx, std::size_t ltf_offset,
   const double g = static_cast<double>(n) /
                    std::sqrt(static_cast<double>(params.used_subcarriers()));
 
+  // The two-symbol average runs lane-parallel over the used subcarriers
+  // (the batched halfsum is the scalar `0.5 * (b1 + b2)` per lane — IEEE
+  // multiply commutes, so (x + y) * 0.5 reproduces 0.5 * (x + y) bit for
+  // bit). The per-subcarrier complex division stays scalar: std::complex
+  // division lowers to the compiler runtime's __divdc3 and must execute
+  // identically no matter which kernel target is active. Workspaces are
+  // thread-local so the warmed-up estimator performs zero allocations
+  // (pinned by the zero-alloc suite).
   const auto& lf = ltf_freq();
+  static thread_local std::vector<int> lane_k;
+  static thread_local linalg::simd::CBatch b1b, b2b, avgb;
+  lane_k.clear();
   for (int k = -26; k <= 26; ++k) {
     if (k == 0) continue;
     const cdouble l = lf[static_cast<std::size_t>(k + 26)];
@@ -60,9 +73,24 @@ void estimate_from_ltf_into(const Samples& rx, std::size_t ltf_offset,
       out.at(k) = cdouble{0.0, 0.0};
       continue;
     }
-    const std::size_t bin = subcarrier_bin(k, n);
-    const cdouble avg = 0.5 * (b1[bin] + b2[bin]);
-    out.at(k) = avg / (l * g);
+    lane_k.push_back(k);
+  }
+  const std::size_t lanes = lane_k.size();
+  b1b.resize(1, 1, lanes);
+  b2b.resize(1, 1, lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::size_t bin = subcarrier_bin(lane_k[l], n);
+    b1b.re()[l] = b1[bin].real();
+    b1b.im()[l] = b1[bin].imag();
+    b2b.re()[l] = b2[bin].real();
+    b2b.im()[l] = b2[bin].imag();
+  }
+  linalg::simd::halfsum(b1b, b2b, avgb);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const int k = lane_k[l];
+    const cdouble lk = lf[static_cast<std::size_t>(k + 26)];
+    const cdouble avg{avgb.re()[l], avgb.im()[l]};
+    out.at(k) = avg / (lk * g);
   }
   out.at(0) = cdouble{0.0, 0.0};
 }

@@ -5,9 +5,35 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/simd/dispatch.h"
+
 namespace nplus::phy {
 
 namespace {
+
+// Symbols demapped per batched point_distances call. The per-lane distance
+// std::norm(y - pts[w]) is computed once per chunk and shared by the
+// per-bit min scans (the scalar code recomputed it per bit; the value is a
+// pure function of (y, w), so reuse cannot change a byte). 96 lanes keeps
+// the 64-point distance table at 48 KiB per thread.
+constexpr std::size_t kDemapChunk = 96;
+
+// Fills the per-chunk distance table d[w * lanes + l] = |y_l - pts[w]|^2
+// through the dispatched kernel, from thread-local SoA scratch.
+void chunk_distances(const std::vector<cdouble>& symbols, std::size_t s0,
+                     std::size_t lanes, const std::vector<cdouble>& pts,
+                     std::vector<double>& yr, std::vector<double>& yi,
+                     std::vector<double>& dist) {
+  yr.resize(lanes);
+  yi.resize(lanes);
+  dist.resize(pts.size() * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    yr[l] = symbols[s0 + l].real();
+    yi[l] = symbols[s0 + l].imag();
+  }
+  linalg::simd::point_distances(yr.data(), yi.data(), lanes, pts.data(),
+                                pts.size(), dist.data());
+}
 
 // 802.11a Gray mapping on each axis. For 16-QAM the 2-bit-per-axis map is
 // (b0 b1) -> {-3, -1, +3, +1} scaled; for 64-QAM the 3-bit map is
@@ -134,18 +160,23 @@ Bits demap_hard(const std::vector<cdouble>& symbols, Modulation m) {
   const auto& pts = constellation_points(m);
   Bits out;
   out.reserve(symbols.size() * bps);
-  for (const auto& y : symbols) {
-    std::size_t best = 0;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (std::size_t w = 0; w < pts.size(); ++w) {
-      const double d = std::norm(y - pts[w]);
-      if (d < best_d) {
-        best_d = d;
-        best = w;
+  static thread_local std::vector<double> yr, yi, dist;
+  for (std::size_t s0 = 0; s0 < symbols.size(); s0 += kDemapChunk) {
+    const std::size_t lanes = std::min(kDemapChunk, symbols.size() - s0);
+    chunk_distances(symbols, s0, lanes, pts, yr, yi, dist);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t w = 0; w < pts.size(); ++w) {
+        const double d = dist[w * lanes + l];
+        if (d < best_d) {
+          best_d = d;
+          best = w;
+        }
       }
-    }
-    for (std::size_t b = bps; b-- > 0;) {
-      out.push_back(static_cast<std::uint8_t>((best >> b) & 1u));
+      for (std::size_t b = bps; b-- > 0;) {
+        out.push_back(static_cast<std::uint8_t>((best >> b) & 1u));
+      }
     }
   }
   return out;
@@ -158,26 +189,32 @@ std::vector<double> demap_soft(const std::vector<cdouble>& symbols,
   const auto& pts = constellation_points(m);
   std::vector<double> llr;
   llr.reserve(symbols.size() * bps);
-  for (std::size_t s = 0; s < symbols.size(); ++s) {
-    const cdouble y = symbols[s];
-    const double nv = noise_var.empty()
-                          ? 1.0
-                          : std::max(noise_var[std::min(s, noise_var.size() - 1)],
-                                     1e-12);
-    // Max-log: LLR_b = (min_{x: bit=1} |y-x|^2 - min_{x: bit=0} |y-x|^2)/nv.
-    for (std::size_t b = 0; b < bps; ++b) {
-      const std::size_t bitpos = bps - 1 - b;  // MSB first, matching map_bits
-      double d0 = std::numeric_limits<double>::infinity();
-      double d1 = std::numeric_limits<double>::infinity();
-      for (std::size_t w = 0; w < pts.size(); ++w) {
-        const double d = std::norm(y - pts[w]);
-        if ((w >> bitpos) & 1u) {
-          d1 = std::min(d1, d);
-        } else {
-          d0 = std::min(d0, d);
+  static thread_local std::vector<double> yr, yi, dist;
+  for (std::size_t s0 = 0; s0 < symbols.size(); s0 += kDemapChunk) {
+    const std::size_t lanes = std::min(kDemapChunk, symbols.size() - s0);
+    chunk_distances(symbols, s0, lanes, pts, yr, yi, dist);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t s = s0 + l;
+      const double nv =
+          noise_var.empty()
+              ? 1.0
+              : std::max(noise_var[std::min(s, noise_var.size() - 1)], 1e-12);
+      // Max-log: LLR_b = (min_{x: bit=1} |y-x|^2 - min_{x: bit=0}
+      // |y-x|^2)/nv, over the chunk's precomputed distance table.
+      for (std::size_t b = 0; b < bps; ++b) {
+        const std::size_t bitpos = bps - 1 - b;  // MSB first, as map_bits
+        double d0 = std::numeric_limits<double>::infinity();
+        double d1 = std::numeric_limits<double>::infinity();
+        for (std::size_t w = 0; w < pts.size(); ++w) {
+          const double d = dist[w * lanes + l];
+          if ((w >> bitpos) & 1u) {
+            d1 = std::min(d1, d);
+          } else {
+            d0 = std::min(d0, d);
+          }
         }
+        llr.push_back((d1 - d0) / nv);
       }
-      llr.push_back((d1 - d0) / nv);
     }
   }
   return llr;

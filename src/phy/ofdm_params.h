@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 
 namespace nplus::phy {
@@ -49,8 +50,15 @@ inline constexpr std::array<int, 4> kPilotSubcarriers = {-21, -7, 7, 21};
 // Returns the 48 data subcarrier logical indices in increasing k order.
 std::array<int, 48> data_subcarriers();
 
-// Maps logical subcarrier index k (-26..26, k != 0) to FFT bin.
+// Maps logical subcarrier index k (-26..26, k != 0) to FFT bin. An FFT
+// shorter than 53 bins cannot hold the 52 used subcarriers: the wrapped
+// negative-k bins (fft_size - |k|) would land on positive-k bins and the
+// two subcarriers would silently overwrite each other, so the precondition
+// is asserted (asserts stay live in Release, see CMakeLists.txt) instead of
+// letting a non-default fft_size corrupt the grid.
 constexpr std::size_t subcarrier_bin(int k, std::size_t fft_size = 64) {
+  assert(k != 0 && k >= -26 && k <= 26);
+  assert(fft_size >= 53);
   return k >= 0 ? static_cast<std::size_t>(k)
                 : fft_size - static_cast<std::size_t>(-k);
 }

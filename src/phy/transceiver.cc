@@ -6,6 +6,8 @@
 
 #include "dsp/fft.h"
 #include "linalg/decomp.h"
+#include "linalg/simd/batch.h"
+#include "linalg/simd/dispatch.h"
 #include "linalg/subspace.h"
 #include "phy/ofdm.h"
 
@@ -372,6 +374,64 @@ void gather_rx_vector(const std::vector<std::vector<cdouble>>& all_bins,
   }
 }
 
+// Lane-parallel equalizer over the usable data subcarriers of one frame.
+// The per-subcarrier combiner matrices share one shape (n_streams x n_rx),
+// so they are packed once per frame into an SoA batch; each data symbol is
+// then equalized with one batched matvec plus one batched phase-fix scale
+// instead of up to 48 scalar mul_into calls. Per lane the kernels run the
+// exact op sequence of the scalar path (mul_into accumulation, then the
+// naive complex product with phase_fix), so the observations they produce
+// are byte-identical to the scalar loop's — see linalg/simd/batch.h.
+struct BatchedEqualizer {
+  std::vector<std::size_t> lane_idx;  // data-subcarrier index per lane
+  std::vector<std::size_t> lane_bin;  // FFT bin per lane
+  linalg::simd::CBatch combiners;     // n_streams x n_rx x L
+  linalg::simd::CBatch y;             // n_rx x 1 x L
+  linalg::simd::CBatch s_hat;         // n_streams x 1 x L
+
+  std::size_t lanes() const { return lane_idx.size(); }
+
+  // Packs the ok-subcarrier combiners (one SoA transpose per frame).
+  void pack(const std::vector<SubcarrierEq>& eq,
+            const std::array<int, 48>& data_sc, std::size_t n_data,
+            std::size_t n_streams, std::size_t n_rx, std::size_t n) {
+    lane_idx.clear();
+    lane_bin.clear();
+    for (std::size_t i = 0; i < n_data; ++i) {
+      const int k = data_sc[i];
+      if (!eq[static_cast<std::size_t>(k + 26)].ok) continue;
+      lane_idx.push_back(i);
+      lane_bin.push_back(subcarrier_bin(k, n));
+    }
+    combiners.resize(n_streams, n_rx, lanes());
+    y.resize(n_rx, 1, lanes());
+    s_hat.resize(n_streams, 1, lanes());
+    for (std::size_t l = 0; l < lanes(); ++l) {
+      const int k = data_sc[lane_idx[l]];
+      combiners.set_lane(l, eq[static_cast<std::size_t>(k + 26)].combiner);
+    }
+  }
+
+  // Equalizes symbol t on every lane: gather y across antennas, then
+  // s_hat = combiner * y, then s_hat *= phase_fix.
+  void equalize_symbol(const std::vector<std::vector<cdouble>>& all_bins,
+                       std::size_t t, std::size_t n, cdouble phase_fix) {
+    const std::size_t nl = lanes();
+    for (std::size_t a = 0; a < all_bins.size(); ++a) {
+      const cdouble* row = all_bins[a].data() + t * n;
+      double* yr = y.re() + a * nl;
+      double* yi = y.im() + a * nl;
+      for (std::size_t l = 0; l < nl; ++l) {
+        const cdouble v = row[lane_bin[l]];
+        yr[l] = v.real();
+        yi[l] = v.imag();
+      }
+    }
+    linalg::simd::matvec(combiners, y, s_hat);
+    linalg::simd::scale(s_hat, phase_fix);
+  }
+};
+
 // Pilot-based common phase of symbol t: equalizes stream 0 at each pilot
 // subcarrier and returns the unit rotation undoing the common drift.
 // `y`/`s_hat` are caller workspace.
@@ -439,31 +499,48 @@ DecodeResult decode_frame(const std::vector<Samples>& rx,
   std::vector<std::vector<double>> obs_nv(
       n_streams, std::vector<double>(n_syms * params.n_data_subcarriers, 1.0));
 
-  // Steady-state per-subcarrier workspace: the received vector and the
-  // equalized stream estimates. With these hoisted, one subcarrier
-  // iteration below performs zero heap allocations.
+  // Steady-state pilot workspace (the pilot loop stays scalar: four
+  // subcarriers don't amortize a batch) plus the lane-parallel equalizer
+  // packed once for the frame's usable data subcarriers.
   CVec y;
   CVec s_hat;
+  BatchedEqualizer beq;
+  beq.pack(eq, data_sc, params.n_data_subcarriers, n_streams, rx.size(), n);
+
+  // Per-lane noise variances are symbol-independent: precompute them once.
+  std::vector<double> lane_nv(n_streams * beq.lanes());
+  for (std::size_t l = 0; l < beq.lanes(); ++l) {
+    const int k = data_sc[beq.lane_idx[l]];
+    const SubcarrierEq& e = eq[static_cast<std::size_t>(k + 26)];
+    for (std::size_t j = 0; j < n_streams; ++j) {
+      lane_nv[j * beq.lanes() + l] =
+          std::max(noise_var * e.noise_gain[j], 1e-12);
+    }
+  }
+
+  // Subcarriers without a usable equalizer keep the scalar path's sentinel
+  // observations for every symbol that fit.
+  for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
+    const int k = data_sc[i];
+    if (eq[static_cast<std::size_t>(k + 26)].ok) continue;
+    for (std::size_t t = 0; t < fit; ++t) {
+      const std::size_t idx = t * params.n_data_subcarriers + i;
+      for (std::size_t j = 0; j < n_streams; ++j) {
+        obs[j][idx] = {0.0, 0.0};
+        obs_nv[j][idx] = 1e9;
+      }
+    }
+  }
 
   for (std::size_t t = 0; t < fit; ++t) {
     const cdouble phase_fix = pilot_phase_fix(eq, all_bins, t, n, y, s_hat);
-
-    for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
-      const int k = data_sc[i];
-      const std::size_t ki = static_cast<std::size_t>(k + 26);
-      const std::size_t idx = t * params.n_data_subcarriers + i;
-      if (!eq[ki].ok) {
-        for (std::size_t j = 0; j < n_streams; ++j) {
-          obs[j][idx] = {0.0, 0.0};
-          obs_nv[j][idx] = 1e9;
-        }
-        continue;
-      }
-      gather_rx_vector(all_bins, t, n, subcarrier_bin(k, n), y);
-      linalg::mul_into(eq[ki].combiner, y, s_hat);
+    beq.equalize_symbol(all_bins, t, n, phase_fix);
+    for (std::size_t l = 0; l < beq.lanes(); ++l) {
+      const std::size_t idx =
+          t * params.n_data_subcarriers + beq.lane_idx[l];
       for (std::size_t j = 0; j < n_streams; ++j) {
-        obs[j][idx] = s_hat[j] * phase_fix;
-        obs_nv[j][idx] = std::max(noise_var * eq[ki].noise_gain[j], 1e-12);
+        obs[j][idx] = beq.s_hat.get(j, 0, l);
+        obs_nv[j][idx] = lane_nv[j * beq.lanes() + l];
       }
     }
   }
@@ -531,18 +608,16 @@ std::vector<double> measure_stream_snr(
 
   CVec y;
   CVec s_hat;
+  BatchedEqualizer beq;
+  beq.pack(eq, data_sc, params.n_data_subcarriers, n_streams, rx.size(), n);
 
   for (std::size_t t = 0; t < fit; ++t) {
     const cdouble phase_fix = pilot_phase_fix(eq, all_bins, t, n, y, s_hat);
-
-    for (std::size_t i = 0; i < params.n_data_subcarriers; ++i) {
-      const int k = data_sc[i];
-      const std::size_t ki = static_cast<std::size_t>(k + 26);
-      if (!eq[ki].ok) continue;
-      gather_rx_vector(all_bins, t, n, subcarrier_bin(k, n), y);
-      linalg::mul_into(eq[ki].combiner, y, s_hat);
+    beq.equalize_symbol(all_bins, t, n, phase_fix);
+    for (std::size_t l = 0; l < beq.lanes(); ++l) {
+      const std::size_t i = beq.lane_idx[l];
       const cdouble known = known_symbols[t * params.n_data_subcarriers + i];
-      const cdouble e = s_hat[stream_idx] * phase_fix - known;
+      const cdouble e = beq.s_hat.get(stream_idx, 0, l) - known;
       err[i] += std::norm(e);
       sig[i] += std::norm(known);
       ++count[i];

@@ -7,6 +7,8 @@
 #include <map>
 
 #include "linalg/decomp.h"
+#include "linalg/simd/batch.h"
+#include "linalg/simd/dispatch.h"
 #include "linalg/subspace.h"
 #include "nulling/precoder.h"
 #include "phy/esnr.h"
@@ -38,6 +40,32 @@ std::size_t sanitize_sinrs(std::vector<double>& sinrs) {
     }
   }
   return n;
+}
+
+// Batched per-subcarrier effective channel: eff[s] = amp * (H_s * V_s) for
+// every subcarrier at once through the SIMD matmul + scale kernels. Per
+// lane the kernels run the exact op sequence of the scalar
+// `amp * (w.channel(a, b, s) * v[s])`, so the unpacked matrices are
+// byte-identical to the per-subcarrier scalar products (the two fidelity
+// modes share this path through eff_true and the RTS-channel loop).
+std::vector<CMat> batched_effective(const World& w, std::size_t tx,
+                                    std::size_t node,
+                                    const std::vector<CMat>& v,
+                                    cdouble amp) {
+  assert(v.size() == kSc);
+  const CMat& h0 = w.channel(tx, node, 0);
+  linalg::simd::CBatch hb(h0.rows(), h0.cols(), kSc);
+  linalg::simd::CBatch vb(v[0].rows(), v[0].cols(), kSc);
+  linalg::simd::CBatch ob;
+  for (std::size_t s = 0; s < kSc; ++s) {
+    hb.set_lane(s, w.channel(tx, node, s));
+    vb.set_lane(s, v[s]);
+  }
+  linalg::simd::matmul(hb, vb, ob);
+  linalg::simd::scale(ob, amp);
+  std::vector<CMat> eff(kSc);
+  for (std::size_t s = 0; s < kSc; ++s) ob.get_lane(s, eff[s]);
+  return eff;
 }
 
 }  // namespace
@@ -189,11 +217,8 @@ const std::vector<CMat>& RoundBuilder::eff_true(std::size_t g,
   if (it != eff_true_cache_.end()) return it->second;
 
   const ActiveGroup& grp = groups_[g];
-  std::vector<CMat> eff(kSc);
-  const cdouble amp{grp.stream_amp, 0.0};
-  for (std::size_t s = 0; s < kSc; ++s) {
-    eff[s] = amp * (w_.channel(grp.tx_node, node, s) * grp.v[s]);
-  }
+  std::vector<CMat> eff = batched_effective(w_, grp.tx_node, node, grp.v,
+                                            cdouble{grp.stream_amp, 0.0});
   return eff_true_cache_.emplace(key, std::move(eff)).first->second;
 }
 
@@ -344,10 +369,12 @@ bool RoundBuilder::try_join_with(std::size_t tx, std::size_t m_target) {
   // RTS-stage precoder: a null-space basis of the ongoing constraints. For
   // a single intended receiver this is also the final precoder.
   std::vector<CMat> v_rts(kSc);
-  for (std::size_t s = 0; s < kSc; ++s) {
-    const auto pre = nulling::compute_join_precoder(m_ant, ongoing[s], m);
-    if (!pre.has_value()) return false;  // degenerate channels
-    v_rts[s] = pre->v;
+  {
+    const auto pres = nulling::compute_join_precoders_batch(m_ant, ongoing, m);
+    for (std::size_t s = 0; s < kSc; ++s) {
+      if (!pres[s].has_value()) return false;  // degenerate channels
+      v_rts[s] = pres[s]->v;
+    }
   }
 
   // Receivers estimate the effective RTS channels and advertise their
@@ -358,11 +385,10 @@ bool RoundBuilder::try_join_with(std::size_t tx, std::size_t m_target) {
   // interference, not as wanted directions, when choosing the space.
   for (auto& l : links) {
     l.advertised_u.resize(kSc);
+    const std::vector<CMat> g_rts_all = batched_effective(
+        w_, tx, l.rx_node, v_rts, cdouble{grp.stream_amp, 0.0});
     for (std::size_t s = 0; s < kSc; ++s) {
-      const CMat g_rts_true =
-          cdouble{grp.stream_amp, 0.0} *
-          (w_.channel(tx, l.rx_node, s) * v_rts[s]);
-      const CMat g_rts_est = w_.estimate(g_rts_true);
+      const CMat g_rts_est = w_.estimate(g_rts_all[s]);
       CMat g_own(g_rts_est.rows(), 0);
       CMat f_est = stacked_est_interference(l.rx_node, s, SIZE_MAX);
       for (std::size_t c = 0; c < g_rts_est.cols(); ++c) {

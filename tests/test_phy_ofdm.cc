@@ -58,6 +58,17 @@ TEST(OfdmParams, DataSubcarriersExcludePilotsAndDc) {
   }
 }
 
+TEST(OfdmParamsDeathTest, SubcarrierBinRejectsGridTooSmallForSubcarriers) {
+  // An FFT below 53 bins cannot hold the 52 used subcarriers: the wrapped
+  // negative-k bins would collide with positive-k bins (e.g. bin(-26, 32)
+  // and bin(6, 32) are both 6) and silently corrupt the grid. The
+  // precondition assert must fire instead (asserts stay live in Release).
+  EXPECT_DEATH((void)subcarrier_bin(-26, 32), "fft_size >= 53");
+  // The smallest legal grid maps without collision.
+  EXPECT_EQ(subcarrier_bin(-26, 53), 27u);
+  EXPECT_EQ(subcarrier_bin(26, 53), 26u);
+}
+
 TEST(PilotPolarity, MatchesStandardPrefix) {
   // First pilot polarities of 802.11a: 1,1,1,1,-1,-1,-1,1,...
   const double expected[8] = {1, 1, 1, 1, -1, -1, -1, 1};
